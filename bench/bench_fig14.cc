@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces Fig. 14 and the surrounding Sec. 5 cohort analysis:
+ * service-time and keep-alive improvements for the hard-to-predict
+ * and infrequent function cohorts (bottom/top 15% as the paper
+ * defines them), plus the frequent and concurrency-spike cohorts
+ * from the text.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "math/stats.hh"
+
+namespace
+{
+
+using namespace iceb;
+
+double
+cohortKeepAlive(const sim::SimulationMetrics &metrics,
+                const std::vector<FunctionId> &cohort)
+{
+    double total = 0.0;
+    for (FunctionId fn : cohort)
+        total += metrics.per_function[fn].keep_alive_cost;
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    const harness::Workload workload = bench::standardWorkload();
+    const sim::ClusterConfig cluster =
+        sim::defaultHeterogeneousCluster();
+    const std::vector<harness::SchemeResult> results =
+        harness::runAllSchemes(workload, cluster);
+    const sim::SimulationMetrics &baseline = results.front().metrics;
+
+    const harness::Cohorts cohorts =
+        harness::buildCohorts(workload.trace, baseline);
+    const struct
+    {
+        const char *name;
+        const std::vector<FunctionId> *functions;
+    } groups[] = {
+        {"hard-to-predict (top 15% cold time)",
+         &cohorts.hard_to_predict},
+        {"infrequent (bottom 15% invocations)", &cohorts.infrequent},
+        {"frequent (top 15% invocations)", &cohorts.frequent},
+        {"spiky (top 15% concurrency spikes)", &cohorts.spiky},
+    };
+
+    for (const auto &group : groups) {
+        TextTable table(std::string("Fig. 14 cohort: ") + group.name);
+        table.setHeader({"scheme", "median svc impr.",
+                         "mean svc impr.", "cohort ka impr."});
+        const double base_ka =
+            cohortKeepAlive(baseline, *group.functions);
+        for (const auto &result : results) {
+            if (result.scheme == harness::Scheme::OpenWhisk)
+                continue;
+            const std::vector<double> improvement =
+                harness::cohortImprovement(baseline, result.metrics,
+                                           *group.functions);
+            const double ka =
+                cohortKeepAlive(result.metrics, *group.functions);
+            table.addRow({
+                harness::schemeName(result.scheme),
+                TextTable::pct(math::median(improvement)),
+                TextTable::pct(math::mean(improvement)),
+                TextTable::pct(
+                    harness::improvementOver(base_ka, ka)),
+            });
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "Shape check: IceBreaker is the closest to the "
+                 "Oracle for the hard-to-predict\nand infrequent "
+                 "cohorts, where competing schemes show left-tail "
+                 "degradation.\n";
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Reproduces Fig. 4: (a) serverless functions show periodic
+ * invocation concurrency whose periodicity changes over time, and
+ * (b) ARIMA is slow to re-converge after the period switches --
+ * its prediction error spikes and decays only gradually.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "math/stats.hh"
+#include "predictors/arima.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_stats.hh"
+
+int
+main()
+{
+    using namespace iceb;
+
+    // (a) Characterise a small trace: concurrency and inter-arrival
+    // variation over time for representative functions.
+    trace::SyntheticConfig config;
+    config.num_functions = 40;
+    config.num_intervals = 1440;
+    const trace::Trace tr =
+        trace::SyntheticTraceGenerator(config).generate();
+    const trace::TraceCharacter character =
+        trace::characterizeTrace(tr);
+
+    TextTable fig4a("Fig. 4(a): invocation patterns are periodic and "
+                    "concurrency varies");
+    fig4a.setHeader({"metric", "value"});
+    fig4a.addRow({"functions with periodic concurrency",
+                  TextTable::pct(character.fraction_periodic)});
+    double cv_sum = 0.0;
+    std::size_t cv_count = 0;
+    for (const auto &fn : tr.functions()) {
+        const std::vector<double> gaps =
+            trace::interArrivalIntervals(fn);
+        if (gaps.size() < 4)
+            continue;
+        const double mu = math::mean(gaps);
+        if (mu > 0.0) {
+            cv_sum += math::stddev(gaps) / mu;
+            ++cv_count;
+        }
+    }
+    fig4a.addRow({"mean inter-arrival coefficient of variation",
+                  TextTable::num(cv_sum / cv_count, 2)});
+    fig4a.print(std::cout);
+
+    // (b) ARIMA error around a periodicity change.
+    const std::size_t n = 720;
+    const std::size_t switch_at = n / 2;
+    // Sparse bursts every 18 minutes, switching to every 32: the
+    // regime where one-step prediction requires period knowledge.
+    std::vector<double> signal = trace::makePeriodSwitchPulseTrain(
+        n, 18.0, 32.0, switch_at, 3, 6.0);
+    Rng noise(0xF16'4);
+    for (double &value : signal) {
+        if (value > 0.0)
+            value = std::max(
+                0.0, std::round(value + noise.gaussian(0.0, 0.4)));
+        else
+            value = 0.0;
+    }
+
+    predictors::ArimaPredictor arima;
+    std::vector<double> abs_error(n, 0.0);
+    for (std::size_t t = 0; t + 1 < n; ++t) {
+        arima.observe(signal[t]);
+        abs_error[t + 1] =
+            std::fabs(arima.predictNext() - signal[t + 1]);
+    }
+
+    TextTable fig4b("Fig. 4(b): ARIMA burst-interval prediction error "
+                    "around the period change (per 60-interval block)");
+    fig4b.setHeader({"intervals", "phase", "ARIMA MAE"});
+    for (std::size_t start = 120; start + 60 <= n; start += 60) {
+        double acc = 0.0;
+        std::size_t count = 0;
+        for (std::size_t t = start; t < start + 60; ++t) {
+            if (signal[t] > 0.0) {
+                acc += abs_error[t];
+                ++count;
+            }
+        }
+        const double mae =
+            count == 0 ? 0.0 : acc / static_cast<double>(count);
+        const char *phase = start + 60 <= switch_at
+            ? "before switch"
+            : (start >= switch_at ? "after switch" : "switch");
+        fig4b.addRow({std::to_string(start) + "-" +
+                          std::to_string(start + 60),
+                      phase, TextTable::num(mae, 2)});
+    }
+    fig4b.print(std::cout);
+
+    std::cout << "\nShape check: the first post-switch blocks carry "
+                 "the largest errors,\ndecaying only over several "
+                 "blocks (slow convergence).\n";
+    return 0;
+}

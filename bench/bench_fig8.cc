@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Fig. 8: the service-time component breakdown. All
+ * schemes share both tiers, so execution time differs only mildly;
+ * IceBreaker's advantage concentrates in the cold-start and wait
+ * components (plus its fixed decision overhead, charged
+ * pessimistically as in the paper).
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace iceb;
+
+    const harness::Workload workload = bench::standardWorkload();
+    const sim::ClusterConfig cluster =
+        sim::defaultHeterogeneousCluster();
+    const std::vector<harness::SchemeResult> results =
+        harness::runAllSchemes(workload, cluster);
+
+    TextTable table("Fig. 8: mean service-time components per scheme "
+                    "(ms)");
+    table.setHeader({"scheme", "exec", "cold start", "wait", "overhead",
+                     "total"});
+    for (const auto &result : results) {
+        const auto &m = result.metrics;
+        const double n = static_cast<double>(m.invocations);
+        table.addRow({
+            harness::schemeName(result.scheme),
+            TextTable::num(m.meanExecMs(), 0),
+            TextTable::num(m.meanColdMs(), 0),
+            TextTable::num(m.meanWaitMs(), 1),
+            TextTable::num(m.sum_overhead_ms / n, 0),
+            TextTable::num(m.meanServiceMs(), 0),
+        });
+    }
+    table.print(std::cout);
+
+    const auto &base = results.front().metrics;
+    const auto &ib = results[3].metrics;
+    const auto &oracle = results.back().metrics;
+    std::cout << "\ncold-start component improvement over baseline: "
+              << TextTable::pct(harness::improvementOver(
+                     base.meanColdMs(), ib.meanColdMs()))
+              << " (IceBreaker)\n"
+              << "IceBreaker vs Oracle cold-start gap:            "
+              << TextTable::num(ib.meanColdMs() - oracle.meanColdMs(),
+                                0)
+              << " ms (paper: small)\n"
+              << "execution-time spread across schemes:           "
+              << TextTable::pct(
+                     (results[3].metrics.meanExecMs() -
+                      base.meanExecMs()) /
+                     base.meanExecMs())
+              << " (paper: minor)\n";
+    return 0;
+}

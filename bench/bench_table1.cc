@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Table 1: cold-start time, execution time and service
+ * time (with cold vs warm start) for the paper's three representative
+ * ServerlessBench functions on both tiers, plus the suite-wide
+ * fraction of functions for which a warm start on the low-end server
+ * beats a cold start on the high-end server (paper: > 60%).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "common/units.hh"
+#include "workload/benchmark_suite.hh"
+
+int
+main()
+{
+    using namespace iceb;
+    using namespace iceb::workload;
+
+    const std::vector<FunctionProfile> fns = {
+        table1FunctionA(), table1FunctionB(), table1FunctionC()};
+    const char *labels[] = {"F_A", "F_B", "F_C"};
+
+    TextTable table(
+        "Table 1: cold start on high-end vs warm start on low-end "
+        "(seconds)");
+    table.setHeader({"Function", "Server", "CST", "ET", "ST w/ CS",
+                     "ST w/ WS", "Metric"});
+    for (std::size_t i = 0; i < fns.size(); ++i) {
+        const FunctionProfile &p = fns[i];
+        const bool metric = p.warmLowBeatsColdHigh();
+        for (Tier tier : {Tier::LowEnd, Tier::HighEnd}) {
+            table.addRow({
+                tier == Tier::LowEnd ? labels[i] : "",
+                tier == Tier::LowEnd ? "Low-end" : "High-end",
+                TextTable::num(msToSeconds(p.coldStartMs(tier)), 2),
+                TextTable::num(msToSeconds(p.execMs(tier)), 2),
+                TextTable::num(msToSeconds(p.serviceTimeColdMs(tier)),
+                               2),
+                TextTable::num(msToSeconds(p.serviceTimeWarmMs(tier)),
+                               2),
+                tier == Tier::LowEnd ? (metric ? "yes" : "no") : "",
+            });
+        }
+        table.addRule();
+    }
+    table.print(std::cout);
+
+    const BenchmarkSuite suite = BenchmarkSuite::standard();
+    std::cout << "\nFraction of benchmark-pool functions where a warm "
+                 "start on low-end\nbeats a cold start on high-end: "
+              << TextTable::pct(suite.fractionWarmLowBeatsColdHigh())
+              << " (paper: > 60%)\n";
+    return 0;
+}

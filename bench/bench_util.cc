@@ -1,0 +1,50 @@
+#include "bench/bench_util.hh"
+
+namespace bench
+{
+
+using namespace iceb;
+
+harness::Workload
+standardWorkload(std::size_t num_functions, std::size_t num_intervals)
+{
+    trace::SyntheticConfig config;
+    config.num_functions = num_functions;
+    config.num_intervals = num_intervals;
+    config.min_memory_mb = 256;
+    return harness::makeWorkload(config);
+}
+
+harness::Workload
+sweepWorkload()
+{
+    return standardWorkload(260, 360);
+}
+
+void
+printSchemeComparison(const std::string &title,
+                      const std::vector<harness::SchemeResult> &results)
+{
+    const sim::SimulationMetrics &baseline = results.front().metrics;
+    TextTable table(title);
+    table.setHeader({"scheme", "keep-alive $", "ka impr.", "svc (ms)",
+                     "svc impr.", "warm", "cold (ms)", "wait (ms)"});
+    for (const auto &result : results) {
+        const auto &m = result.metrics;
+        table.addRow({
+            harness::schemeName(result.scheme),
+            TextTable::num(m.totalKeepAliveCost(), 3),
+            TextTable::pct(harness::improvementOver(
+                baseline.totalKeepAliveCost(), m.totalKeepAliveCost())),
+            TextTable::num(m.meanServiceMs(), 0),
+            TextTable::pct(harness::improvementOver(
+                baseline.meanServiceMs(), m.meanServiceMs())),
+            TextTable::pct(m.warmStartFraction()),
+            TextTable::num(m.meanColdMs(), 0),
+            TextTable::num(m.meanWaitMs(), 1),
+        });
+    }
+    table.print(std::cout);
+}
+
+} // namespace bench

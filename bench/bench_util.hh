@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries: standard workload
+ * geometries (kept small enough that the whole bench suite runs in
+ * minutes) and the common scheme-comparison printer.
+ */
+
+#ifndef ICEB_BENCH_BENCH_UTIL_HH
+#define ICEB_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+
+namespace bench
+{
+
+/**
+ * The standard evaluation workload: Azure-like synthetic trace with
+ * matched ServerlessBench-style profiles. 420 functions x 12 hours by
+ * default -- enough functions that keep-alive demand oversubscribes
+ * the default cluster's memory, the regime the paper's trace replay
+ * operates in (a scheme must *choose* what stays warm).
+ */
+iceb::harness::Workload standardWorkload(std::size_t num_functions = 420,
+                                         std::size_t num_intervals = 720);
+
+/** Smaller geometry for the sweep benches (Figs. 12 and 13). */
+iceb::harness::Workload sweepWorkload();
+
+/**
+ * Print the Fig. 6-style comparison: keep-alive cost and mean service
+ * time of every scheme as absolute values and improvements over the
+ * OpenWhisk baseline (results[0] must be OpenWhisk).
+ */
+void printSchemeComparison(
+    const std::string &title,
+    const std::vector<iceb::harness::SchemeResult> &results);
+
+} // namespace bench
+
+#endif // ICEB_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Capacity planner: the "new research avenue" the paper closes with
+ * -- given a fixed capital budget, which mix of high-end and low-end
+ * servers serves a workload best under IceBreaker? Sweeps the
+ * budget-constant compositions and reports keep-alive cost, service
+ * time and a combined score, ending with a recommendation. The paper
+ * suggests matching the heterogeneity ratio to the cost ratio as a
+ * first-order estimate; this tool lets you check that for your
+ * workload.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "sim/cluster_config.hh"
+
+int
+main()
+{
+    using namespace iceb;
+
+    trace::SyntheticConfig config;
+    config.num_functions = 150;
+    config.num_intervals = 360;
+    config.min_memory_mb = 256;
+    const harness::Workload workload = harness::makeWorkload(config);
+
+    std::cout << "planning for " << workload.trace.numFunctions()
+              << " functions / " << workload.trace.totalInvocations()
+              << " invocations, constant capital budget\n\n";
+
+    TextTable table("IceBreaker across budget-constant compositions");
+    table.setHeader({"config", "keep-alive $", "mean svc (ms)",
+                     "warm", "score"});
+
+    struct Row
+    {
+        std::string name;
+        double score = 0.0;
+    };
+    Row best{"", -1.0};
+    // First pass to normalise the score components.
+    std::vector<harness::SchemeResult> runs;
+    const std::vector<sim::ClusterConfig> sweep =
+        sim::budgetConstantSweep();
+    double worst_cost = 0.0;
+    double worst_svc = 0.0;
+    for (const auto &cluster : sweep) {
+        runs.push_back(harness::runScheme(harness::Scheme::IceBreaker,
+                                          workload, cluster));
+        worst_cost = std::max(worst_cost,
+                              runs.back().metrics.totalKeepAliveCost());
+        worst_svc = std::max(worst_svc,
+                             runs.back().metrics.meanServiceMs());
+    }
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const auto &m = runs[i].metrics;
+        // Equal-weight score: lower cost and service are better.
+        const double score =
+            (1.0 - m.totalKeepAliveCost() / worst_cost) +
+            (1.0 - m.meanServiceMs() / worst_svc);
+        table.addRow({
+            sweep[i].name,
+            TextTable::num(m.totalKeepAliveCost(), 3),
+            TextTable::num(m.meanServiceMs(), 0),
+            TextTable::pct(m.warmStartFraction()),
+            TextTable::num(score, 3),
+        });
+        if (score > best.score)
+            best = Row{sweep[i].name, score};
+    }
+    table.print(std::cout);
+
+    std::cout << "\nrecommended composition for this workload: "
+              << best.name
+              << "\n(paper's first-order rule: keep the heterogeneity "
+                 "ratio near the cost ratio)\n";
+    return 0;
+}

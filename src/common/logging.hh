@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Status-message and error helpers in the gem5 idiom.
+ *
+ * fatal() terminates on user error (bad configuration, invalid
+ * arguments); panic() aborts on internal invariant violations;
+ * inform()/warn() report status without stopping.
+ */
+
+#ifndef ICEB_COMMON_LOGGING_HH
+#define ICEB_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace iceb
+{
+
+/** Verbosity threshold; messages below it are suppressed. */
+enum class LogLevel
+{
+    Silent = 0,
+    Warn = 1,
+    Inform = 2,
+    Debug = 3,
+};
+
+/** Process-wide log level (defaults to Warn to keep bench output clean). */
+LogLevel logLevel();
+
+/** Change the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail
+{
+
+/** Concatenate a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void fatalImpl(const std::string &msg);
+[[noreturn]] void panicImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Terminate because of a user-correctable error (bad config, bad
+ * arguments). Exits with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Abort because an internal invariant was violated -- a bug in this
+ * library, never the user's fault.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Verbose diagnostic output, off by default. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    detail::debugImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless @p cond holds. */
+#define ICEB_ASSERT(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::iceb::panic("assertion failed: ", #cond, " ",             \
+                          ##__VA_ARGS__);                               \
+        }                                                               \
+    } while (0)
+
+} // namespace iceb
+
+#endif // ICEB_COMMON_LOGGING_HH

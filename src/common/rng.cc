@@ -1,0 +1,154 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace iceb
+{
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> uniform in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    ICEB_ASSERT(lo <= hi, "uniformInt bounds inverted");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    std::uint64_t draw;
+    do {
+        draw = next();
+    } while (draw >= limit);
+    return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double
+Rng::gaussian()
+{
+    if (has_cached_gaussian_) {
+        has_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    cached_gaussian_ = radius * std::sin(angle);
+    has_cached_gaussian_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+std::int64_t
+Rng::poisson(double mean)
+{
+    ICEB_ASSERT(mean >= 0.0, "poisson mean must be non-negative");
+    if (mean == 0.0)
+        return 0;
+    if (mean < 30.0) {
+        // Knuth's product-of-uniforms method.
+        const double threshold = std::exp(-mean);
+        std::int64_t count = 0;
+        double product = uniform();
+        while (product > threshold) {
+            ++count;
+            product *= uniform();
+        }
+        return count;
+    }
+    // Gaussian approximation with continuity correction for large means.
+    const double draw = gaussian(mean, std::sqrt(mean));
+    return draw < 0.0 ? 0 : static_cast<std::int64_t>(draw + 0.5);
+}
+
+double
+Rng::exponential(double lambda)
+{
+    ICEB_ASSERT(lambda > 0.0, "exponential rate must be positive");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / lambda;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::fork(std::uint64_t stream_id)
+{
+    // Mix the parent's stream with the child id through SplitMix64 so
+    // child streams are decorrelated from the parent and each other.
+    std::uint64_t mixer = next() ^ (0x9E3779B97F4A7C15ull * (stream_id + 1));
+    return Rng(splitMix64(mixer));
+}
+
+} // namespace iceb

@@ -1,0 +1,99 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace iceb
+{
+
+TextTable::TextTable(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(Row{std::move(row), false});
+}
+
+void
+TextTable::addRule()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision)
+        << fraction * 100.0 << "%";
+    return oss.str();
+}
+
+void
+TextTable::print(std::ostream &out) const
+{
+    std::size_t columns = header_.size();
+    for (const auto &row : rows_)
+        columns = std::max(columns, row.cells.size());
+    if (columns == 0)
+        return;
+
+    std::vector<std::size_t> widths(columns, 0);
+    for (std::size_t i = 0; i < header_.size(); ++i)
+        widths[i] = std::max(widths[i], header_[i].size());
+    for (const auto &row : rows_)
+        for (std::size_t i = 0; i < row.cells.size(); ++i)
+            widths[i] = std::max(widths[i], row.cells[i].size());
+
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        out << "|";
+        for (std::size_t i = 0; i < columns; ++i) {
+            const std::string &cell =
+                i < cells.size() ? cells[i] : std::string();
+            out << ' ' << cell
+                << std::string(widths[i] - cell.size(), ' ') << " |";
+        }
+        out << '\n';
+    };
+    auto print_rule = [&]() {
+        out << "+";
+        for (std::size_t i = 0; i < columns; ++i)
+            out << std::string(widths[i] + 2, '-') << "+";
+        out << '\n';
+    };
+
+    if (!title_.empty())
+        out << title_ << '\n';
+    print_rule();
+    if (!header_.empty()) {
+        print_cells(header_);
+        print_rule();
+    }
+    for (const auto &row : rows_) {
+        if (row.is_rule)
+            print_rule();
+        else
+            print_cells(row.cells);
+    }
+    print_rule();
+}
+
+} // namespace iceb

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Aligned ASCII table printer.
+ *
+ * Every bench binary reports its reproduced paper table/figure through
+ * this printer so all outputs share one format.
+ */
+
+#ifndef ICEB_COMMON_TABLE_HH
+#define ICEB_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace iceb
+{
+
+/**
+ * Collects rows of string cells and renders them with per-column
+ * alignment and a header rule.
+ */
+class TextTable
+{
+  public:
+    /** Construct with an optional title printed above the table. */
+    explicit TextTable(std::string title = "");
+
+    /** Set the column headers; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator row. */
+    void addRule();
+
+    /** Format a double with the given precision (helper for callers). */
+    static std::string num(double value, int precision = 2);
+
+    /** Format a percentage such as "45.3%". */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render the table. */
+    void print(std::ostream &out) const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool is_rule = false;
+    };
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+} // namespace iceb
+
+#endif // ICEB_COMMON_TABLE_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every IceBreaker subsystem.
+ *
+ * The simulator advances in integer milliseconds; policy decisions are
+ * taken on fixed one-minute interval boundaries. Both clocks are given
+ * distinct types so the compiler catches unit confusion.
+ */
+
+#ifndef ICEB_COMMON_TYPES_HH
+#define ICEB_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace iceb
+{
+
+/** Simulation wall-clock time in milliseconds since simulation start. */
+using TimeMs = std::int64_t;
+
+/** Index of a fixed-width decision interval (one minute by default). */
+using IntervalIndex = std::int64_t;
+
+/** Dense identifier of a serverless function within a trace. */
+using FunctionId = std::uint32_t;
+
+/** Dense identifier of a server node within a cluster. */
+using ServerId = std::uint32_t;
+
+/** Dense identifier of a container instance within the simulation. */
+using ContainerId = std::uint64_t;
+
+/** Memory sizes are tracked in whole megabytes. */
+using MemoryMb = std::int64_t;
+
+/** Monetary cost in dollars. */
+using Dollars = double;
+
+/** Sentinel for "no such function". */
+inline constexpr FunctionId kInvalidFunction =
+    std::numeric_limits<FunctionId>::max();
+
+/** Sentinel for "no such server". */
+inline constexpr ServerId kInvalidServer =
+    std::numeric_limits<ServerId>::max();
+
+/** Sentinel for "never" / unset timestamps. */
+inline constexpr TimeMs kTimeNever = std::numeric_limits<TimeMs>::max();
+
+/**
+ * Server performance tier. The paper's heterogeneity is exactly two
+ * tiers: high-end (fast, expensive) and low-end (slow, cheap).
+ */
+enum class Tier : std::uint8_t
+{
+    HighEnd = 0,
+    LowEnd = 1,
+};
+
+/** Number of distinct tiers (used for per-tier metric arrays). */
+inline constexpr int kNumTiers = 2;
+
+/** Map a tier to a compact array index. */
+inline constexpr int
+tierIndex(Tier tier)
+{
+    return static_cast<int>(tier);
+}
+
+/** Opposite tier (used by the PDM spill-over search). */
+inline constexpr Tier
+otherTier(Tier tier)
+{
+    return tier == Tier::HighEnd ? Tier::LowEnd : Tier::HighEnd;
+}
+
+/** Human-readable tier name for reports. */
+inline constexpr const char *
+tierName(Tier tier)
+{
+    return tier == Tier::HighEnd ? "high-end" : "low-end";
+}
+
+} // namespace iceb
+
+#endif // ICEB_COMMON_TYPES_HH

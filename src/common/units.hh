@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit conversion helpers and the cost model used for keep-alive
+ * accounting.
+ *
+ * The paper quotes tier prices in $/GB/hour (AWS m5n vs t4g). The
+ * simulator integrates keep-alive cost as memory-megabytes multiplied
+ * by idle-warm milliseconds, so the canonical internal rate unit is
+ * $/(MB*ms).
+ */
+
+#ifndef ICEB_COMMON_UNITS_HH
+#define ICEB_COMMON_UNITS_HH
+
+#include "common/types.hh"
+
+namespace iceb
+{
+
+/** Milliseconds per second. */
+inline constexpr TimeMs kMsPerSecond = 1000;
+
+/** Milliseconds per minute. */
+inline constexpr TimeMs kMsPerMinute = 60 * kMsPerSecond;
+
+/** Milliseconds per hour. */
+inline constexpr TimeMs kMsPerHour = 60 * kMsPerMinute;
+
+/** Megabytes per gigabyte. */
+inline constexpr MemoryMb kMbPerGb = 1024;
+
+/** Convert seconds (possibly fractional) to integer milliseconds. */
+inline constexpr TimeMs
+secondsToMs(double seconds)
+{
+    return static_cast<TimeMs>(seconds * kMsPerSecond + 0.5);
+}
+
+/** Convert integer milliseconds to fractional seconds. */
+inline constexpr double
+msToSeconds(TimeMs ms)
+{
+    return static_cast<double>(ms) / kMsPerSecond;
+}
+
+/** Convert minutes to milliseconds. */
+inline constexpr TimeMs
+minutesToMs(double minutes)
+{
+    return static_cast<TimeMs>(minutes * kMsPerMinute + 0.5);
+}
+
+/** Convert gigabytes to megabytes. */
+inline constexpr MemoryMb
+gbToMb(double gb)
+{
+    return static_cast<MemoryMb>(gb * kMbPerGb + 0.5);
+}
+
+/**
+ * Convert a $/GB/hour price (how AWS quotes memory cost) into the
+ * internal $/(MB*ms) rate used by the keep-alive cost integrator.
+ */
+inline constexpr double
+dollarsPerGbHourToMbMs(double dollars_per_gb_hour)
+{
+    return dollars_per_gb_hour / kMbPerGb /
+        static_cast<double>(kMsPerHour);
+}
+
+/**
+ * Keep-alive cost of holding @p mb megabytes warm for @p ms
+ * milliseconds at @p rate_mb_ms dollars per MB-millisecond.
+ */
+inline constexpr Dollars
+keepAliveCost(MemoryMb mb, TimeMs ms, double rate_mb_ms)
+{
+    return static_cast<double>(mb) * static_cast<double>(ms) * rate_mb_ms;
+}
+
+} // namespace iceb
+
+#endif // ICEB_COMMON_UNITS_HH

@@ -1,0 +1,39 @@
+#include "core/utility_score.hh"
+
+#include "math/stats.hh"
+
+namespace iceb::core
+{
+
+std::vector<UtilityScore>
+computeUtilityScores(const std::vector<UtilityComponents> &candidates)
+{
+    std::vector<UtilityScore> scores;
+    scores.reserve(candidates.size());
+    if (candidates.empty())
+        return scores;
+
+    const std::size_t n = candidates.size();
+    std::vector<double> tn(n), fp(n), is(n), mr(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        tn[i] = candidates[i].true_negative;
+        fp[i] = candidates[i].false_positive;
+        is[i] = candidates[i].speedup;
+        mr[i] = candidates[i].memory;
+    }
+    tn = math::minMaxNormalize(tn);
+    fp = math::minMaxNormalize(fp);
+    is = math::minMaxNormalize(is);
+    mr = math::minMaxNormalize(mr);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        UtilityScore s;
+        s.fn = candidates[i].fn;
+        s.score =
+            (tn[i] + (1.0 - fp[i]) + (1.0 - is[i]) + (1.0 - mr[i])) / 4.0;
+        scores.push_back(s);
+    }
+    return scores;
+}
+
+} // namespace iceb::core

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * IceBreaker's utility score (paper Sec. 3.2, Eq. 1).
+ *
+ * For every function predicted to be invoked, four components are
+ * combined:
+ *
+ *   S_u = [ T_n + (1 - F_p) + (1 - I_s) + (1 - M_r) ] / 4
+ *
+ *   T_n  true-negative rate of the FIP (cold starts the scheme failed
+ *        to prevent -- raise priority),
+ *   F_p  false-positive rate (wasted warm-ups -- lower priority),
+ *   I_s  inter-server speedup, (ET+CST)_high / (ET+CST)_low (smaller
+ *        = high-end helps more -- raise priority),
+ *   M_r  memory footprint relative to the provider cap (big
+ *        functions crowd out others -- lower priority).
+ *
+ * Every component is min-max normalised across the candidate set for
+ * the interval before entering the formula.
+ */
+
+#ifndef ICEB_CORE_UTILITY_SCORE_HH
+#define ICEB_CORE_UTILITY_SCORE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace iceb::core
+{
+
+/** Raw (pre-normalisation) utility-score inputs for one function. */
+struct UtilityComponents
+{
+    FunctionId fn = kInvalidFunction;
+    double true_negative = 0.0;  //!< T_n in [0, 1]
+    double false_positive = 0.0; //!< F_p, may exceed 1 pre-normalise
+    double speedup = 1.0;        //!< I_s = (ET+CST)_H / (ET+CST)_L
+    double memory = 0.0;         //!< M_r in [0, 1]
+};
+
+/** A scored function. */
+struct UtilityScore
+{
+    FunctionId fn = kInvalidFunction;
+    double score = 0.0; //!< S_u in [0, 1]
+};
+
+/**
+ * Score every candidate: min-max normalise each component column
+ * across the candidates, then apply Eq. 1. Constant columns
+ * normalise to 0.5 (no ranking information). Output order matches
+ * the input order.
+ */
+std::vector<UtilityScore>
+computeUtilityScores(const std::vector<UtilityComponents> &candidates);
+
+} // namespace iceb::core
+
+#endif // ICEB_CORE_UTILITY_SCORE_HH

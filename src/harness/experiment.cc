@@ -1,0 +1,91 @@
+#include "harness/experiment.hh"
+
+#include "common/logging.hh"
+#include "core/icebreaker.hh"
+#include "policies/faascache_policy.hh"
+#include "policies/openwhisk_policy.hh"
+#include "policies/oracle_policy.hh"
+#include "policies/wild_policy.hh"
+
+namespace iceb::harness
+{
+
+std::vector<Scheme>
+allSchemes()
+{
+    return {Scheme::OpenWhisk, Scheme::Wild, Scheme::FaasCache,
+            Scheme::IceBreaker, Scheme::Oracle};
+}
+
+const char *
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::OpenWhisk:
+        return "OpenWhisk";
+      case Scheme::Wild:
+        return "Wild";
+      case Scheme::FaasCache:
+        return "FaasCache";
+      case Scheme::IceBreaker:
+        return "IceBreaker";
+      case Scheme::Oracle:
+        return "Oracle";
+    }
+    return "invalid";
+}
+
+std::unique_ptr<sim::Policy>
+makePolicy(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::OpenWhisk:
+        return std::make_unique<policies::OpenWhiskPolicy>();
+      case Scheme::Wild:
+        return std::make_unique<policies::WildPolicy>();
+      case Scheme::FaasCache:
+        return std::make_unique<policies::FaasCachePolicy>();
+      case Scheme::IceBreaker:
+        return std::make_unique<core::IceBreakerPolicy>();
+      case Scheme::Oracle:
+        return std::make_unique<policies::OraclePolicy>();
+    }
+    panic("unknown scheme");
+}
+
+Workload
+makeWorkload(const trace::SyntheticConfig &config)
+{
+    Workload workload{trace::SyntheticTraceGenerator(config).generate(),
+                      {}};
+    const workload::BenchmarkSuite suite =
+        workload::BenchmarkSuite::standard();
+    const workload::ProfileMatcher matcher(suite);
+    workload.profiles = matcher.profilesFor(workload.trace);
+    return workload;
+}
+
+SchemeResult
+runScheme(Scheme scheme, const Workload &workload,
+          const sim::ClusterConfig &cluster, sim::SimulatorOptions options)
+{
+    std::unique_ptr<sim::Policy> policy = makePolicy(scheme);
+    SchemeResult result;
+    result.scheme = scheme;
+    result.metrics = sim::runSimulation(workload.trace,
+                                        workload.profiles, cluster,
+                                        *policy, options);
+    return result;
+}
+
+std::vector<SchemeResult>
+runAllSchemes(const Workload &workload, const sim::ClusterConfig &cluster,
+              sim::SimulatorOptions options)
+{
+    std::vector<SchemeResult> results;
+    for (Scheme scheme : allSchemes())
+        results.push_back(runScheme(scheme, workload, cluster, options));
+    return results;
+}
+
+} // namespace iceb::harness

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Experiment harness: binds a trace, profile set, cluster and policy
+ * into one run and provides the standard five-scheme comparison that
+ * most of the paper's figures are built from.
+ */
+
+#ifndef ICEB_HARNESS_EXPERIMENT_HH
+#define ICEB_HARNESS_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cluster_config.hh"
+#include "sim/simulator.hh"
+#include "trace/synthetic.hh"
+#include "workload/profile_matcher.hh"
+
+namespace iceb::harness
+{
+
+/** The five schemes evaluated throughout the paper. */
+enum class Scheme
+{
+    OpenWhisk = 0, //!< baseline: static 10-minute keep-alive
+    Wild,          //!< hybrid histogram (ATC'20)
+    FaasCache,     //!< greedy-dual caching (ASPLOS'21)
+    IceBreaker,    //!< this paper
+    Oracle,        //!< offline upper bound
+};
+
+/** All schemes in report order. */
+std::vector<Scheme> allSchemes();
+
+/** Scheme display name. */
+const char *schemeName(Scheme scheme);
+
+/** Instantiate a fresh policy object for a scheme. */
+std::unique_ptr<sim::Policy> makePolicy(Scheme scheme);
+
+/** A reusable experiment input: trace + matched profiles. */
+struct Workload
+{
+    trace::Trace trace;
+    std::vector<workload::FunctionProfile> profiles;
+};
+
+/**
+ * Generate the default synthetic workload and match benchmark
+ * profiles to it (the Azure-trace + ServerlessBench substitution).
+ */
+Workload makeWorkload(const trace::SyntheticConfig &config = {});
+
+/** One scheme's results. */
+struct SchemeResult
+{
+    Scheme scheme = Scheme::OpenWhisk;
+    sim::SimulationMetrics metrics;
+};
+
+/** Run a single scheme on a workload and cluster. */
+SchemeResult runScheme(Scheme scheme, const Workload &workload,
+                       const sim::ClusterConfig &cluster,
+                       sim::SimulatorOptions options = {});
+
+/**
+ * Run every scheme on the same workload/cluster (the Fig. 6 setup).
+ * Results are ordered as allSchemes().
+ */
+std::vector<SchemeResult>
+runAllSchemes(const Workload &workload,
+              const sim::ClusterConfig &cluster,
+              sim::SimulatorOptions options = {});
+
+} // namespace iceb::harness
+
+#endif // ICEB_HARNESS_EXPERIMENT_HH

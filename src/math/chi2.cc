@@ -1,0 +1,126 @@
+#include "math/chi2.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace iceb::math
+{
+
+namespace
+{
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-14;
+
+/** Series representation of P(a, x), valid for x < a + 1. */
+double
+gammaPSeries(double a, double x)
+{
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int i = 0; i < kMaxIterations; ++i) {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if (std::fabs(term) < std::fabs(sum) * kEpsilon)
+            break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/** Continued-fraction representation of Q(a, x), valid for x >= a+1. */
+double
+gammaQContinuedFraction(double a, double x)
+{
+    double b = x + 1.0 - a;
+    double c = 1.0 / 1e-300;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i <= kMaxIterations; ++i) {
+        const double an = -static_cast<double>(i) *
+            (static_cast<double>(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::fabs(d) < 1e-300)
+            d = 1e-300;
+        c = b + an / c;
+        if (std::fabs(c) < 1e-300)
+            c = 1e-300;
+        d = 1.0 / d;
+        const double delta = d * c;
+        h *= delta;
+        if (std::fabs(delta - 1.0) < kEpsilon)
+            break;
+    }
+    return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+} // namespace
+
+double
+regularizedLowerGamma(double a, double x)
+{
+    ICEB_ASSERT(a > 0.0, "gamma shape must be positive");
+    ICEB_ASSERT(x >= 0.0, "gamma argument must be non-negative");
+    if (x == 0.0)
+        return 0.0;
+    if (x < a + 1.0)
+        return gammaPSeries(a, x);
+    return 1.0 - gammaQContinuedFraction(a, x);
+}
+
+double
+chiSquareCdf(double x, double dof)
+{
+    ICEB_ASSERT(dof > 0.0, "chi-square dof must be positive");
+    if (x <= 0.0)
+        return 0.0;
+    return regularizedLowerGamma(dof / 2.0, x / 2.0);
+}
+
+double
+pearsonChiSquareStatistic(const std::vector<double> &observed,
+                          const std::vector<double> &expected)
+{
+    ICEB_ASSERT(observed.size() == expected.size(),
+                "chi-square bin count mismatch");
+    double statistic = 0.0;
+    double pooled_obs = 0.0;
+    double pooled_exp = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        pooled_obs += observed[i];
+        pooled_exp += expected[i];
+        // Pool consecutive bins until the expected mass is meaningful;
+        // avoids division blow-ups from near-empty model bins.
+        if (pooled_exp > 1e-9) {
+            const double diff = pooled_obs - pooled_exp;
+            statistic += diff * diff / pooled_exp;
+            pooled_obs = 0.0;
+            pooled_exp = 0.0;
+        }
+    }
+    if (pooled_exp > 1e-9) {
+        const double diff = pooled_obs - pooled_exp;
+        statistic += diff * diff / pooled_exp;
+    }
+    return statistic;
+}
+
+GoodnessOfFit
+chiSquareGoodnessOfFit(const std::vector<double> &observed,
+                       const std::vector<double> &expected,
+                       std::size_t fitted_params)
+{
+    GoodnessOfFit result;
+    result.statistic = pearsonChiSquareStatistic(observed, expected);
+    const double bins = static_cast<double>(observed.size());
+    result.dof = std::max(1.0,
+                          bins - 1.0 - static_cast<double>(fitted_params));
+    result.p_value = 1.0 - chiSquareCdf(result.statistic, result.dof);
+    result.confidence = result.p_value;
+    return result;
+}
+
+} // namespace iceb::math

@@ -1,0 +1,181 @@
+#include "math/fft.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace iceb::math
+{
+
+namespace
+{
+
+/** Reverse the low log2(n) bits of i. */
+std::size_t
+bitReverse(std::size_t i, int log2n)
+{
+    std::size_t out = 0;
+    for (int b = 0; b < log2n; ++b) {
+        out = (out << 1) | (i & 1);
+        i >>= 1;
+    }
+    return out;
+}
+
+/** Core radix-2 butterfly pass; inverse selects conjugate twiddles. */
+void
+fftPow2Impl(std::vector<Complex> &data, bool inverse)
+{
+    const std::size_t n = data.size();
+    ICEB_ASSERT(isPowerOfTwo(n), "fftPow2 needs power-of-two length");
+    int log2n = 0;
+    while ((std::size_t{1} << log2n) < n)
+        ++log2n;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t j = bitReverse(i, log2n);
+        if (j > i)
+            std::swap(data[i], data[j]);
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle =
+            (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+        const Complex w_len(std::cos(angle), std::sin(angle));
+        for (std::size_t start = 0; start < n; start += len) {
+            Complex w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const Complex even = data[start + k];
+                const Complex odd = data[start + k + len / 2] * w;
+                data[start + k] = even + odd;
+                data[start + k + len / 2] = even - odd;
+                w *= w_len;
+            }
+        }
+    }
+
+    if (inverse) {
+        const double scale = 1.0 / static_cast<double>(n);
+        for (auto &value : data)
+            value *= scale;
+    }
+}
+
+/**
+ * Bluestein's chirp-z transform: express the DFT as a convolution and
+ * evaluate it with power-of-two FFTs.
+ */
+std::vector<Complex>
+bluestein(const std::vector<Complex> &data, bool inverse)
+{
+    const std::size_t n = data.size();
+    std::size_t m = 1;
+    while (m < 2 * n + 1)
+        m <<= 1;
+
+    const double sign = inverse ? 1.0 : -1.0;
+    std::vector<Complex> chirp(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // i*i may overflow for huge n; series lengths here are small.
+        const double angle = sign * M_PI *
+            static_cast<double>(i) * static_cast<double>(i) /
+            static_cast<double>(n);
+        chirp[i] = Complex(std::cos(angle), std::sin(angle));
+    }
+
+    std::vector<Complex> a(m, Complex(0.0, 0.0));
+    std::vector<Complex> b(m, Complex(0.0, 0.0));
+    for (std::size_t i = 0; i < n; ++i)
+        a[i] = data[i] * chirp[i];
+    b[0] = std::conj(chirp[0]);
+    for (std::size_t i = 1; i < n; ++i)
+        b[i] = b[m - i] = std::conj(chirp[i]);
+
+    fftPow2Impl(a, false);
+    fftPow2Impl(b, false);
+    for (std::size_t i = 0; i < m; ++i)
+        a[i] *= b[i];
+    fftPow2Impl(a, true);
+
+    std::vector<Complex> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = a[i] * chirp[i];
+    if (inverse) {
+        const double scale = 1.0 / static_cast<double>(n);
+        for (auto &value : out)
+            value *= scale;
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+isPowerOfTwo(std::size_t n)
+{
+    return n >= 1 && (n & (n - 1)) == 0;
+}
+
+void
+fftPow2(std::vector<Complex> &data)
+{
+    fftPow2Impl(data, false);
+}
+
+void
+ifftPow2(std::vector<Complex> &data)
+{
+    fftPow2Impl(data, true);
+}
+
+std::vector<Complex>
+fft(const std::vector<Complex> &data)
+{
+    ICEB_ASSERT(!data.empty(), "fft of empty signal");
+    if (isPowerOfTwo(data.size())) {
+        std::vector<Complex> copy = data;
+        fftPow2Impl(copy, false);
+        return copy;
+    }
+    return bluestein(data, false);
+}
+
+std::vector<Complex>
+ifft(const std::vector<Complex> &data)
+{
+    ICEB_ASSERT(!data.empty(), "ifft of empty spectrum");
+    if (isPowerOfTwo(data.size())) {
+        std::vector<Complex> copy = data;
+        fftPow2Impl(copy, true);
+        return copy;
+    }
+    return bluestein(data, true);
+}
+
+std::vector<Complex>
+fftReal(const std::vector<double> &data)
+{
+    std::vector<Complex> complex_data;
+    complex_data.reserve(data.size());
+    for (double value : data)
+        complex_data.emplace_back(value, 0.0);
+    return fft(complex_data);
+}
+
+std::vector<Complex>
+dftDirect(const std::vector<Complex> &data)
+{
+    const std::size_t n = data.size();
+    std::vector<Complex> out(n, Complex(0.0, 0.0));
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t t = 0; t < n; ++t) {
+            const double angle = -2.0 * M_PI *
+                static_cast<double>(k) * static_cast<double>(t) /
+                static_cast<double>(n);
+            out[k] += data[t] * Complex(std::cos(angle), std::sin(angle));
+        }
+    }
+    return out;
+}
+
+} // namespace iceb::math

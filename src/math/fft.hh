@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fast Fourier Transform.
+ *
+ * Iterative radix-2 Cooley-Tukey for power-of-two lengths, with
+ * Bluestein's chirp-z algorithm for arbitrary lengths so callers never
+ * need to pad (padding would shift harmonic frequencies, which matters
+ * for IceBreaker's FIP).
+ */
+
+#ifndef ICEB_MATH_FFT_HH
+#define ICEB_MATH_FFT_HH
+
+#include <complex>
+#include <vector>
+
+namespace iceb::math
+{
+
+using Complex = std::complex<double>;
+
+/** True when n is a power of two (n >= 1). */
+bool isPowerOfTwo(std::size_t n);
+
+/**
+ * In-place forward FFT of a power-of-two-length complex signal.
+ * X[k] = sum_t x[t] * exp(-2*pi*i*k*t/N).
+ */
+void fftPow2(std::vector<Complex> &data);
+
+/** In-place inverse FFT of a power-of-two-length complex spectrum. */
+void ifftPow2(std::vector<Complex> &data);
+
+/**
+ * Forward DFT of an arbitrary-length complex signal. Dispatches to
+ * radix-2 when possible and to Bluestein's algorithm otherwise;
+ * O(n log n) in both cases.
+ */
+std::vector<Complex> fft(const std::vector<Complex> &data);
+
+/** Inverse DFT of an arbitrary-length complex spectrum. */
+std::vector<Complex> ifft(const std::vector<Complex> &data);
+
+/** Forward DFT of a real signal (convenience wrapper). */
+std::vector<Complex> fftReal(const std::vector<double> &data);
+
+/**
+ * Direct O(n^2) DFT. Exists as the oracle the FFT implementations are
+ * property-tested against; never used on hot paths.
+ */
+std::vector<Complex> dftDirect(const std::vector<Complex> &data);
+
+} // namespace iceb::math
+
+#endif // ICEB_MATH_FFT_HH

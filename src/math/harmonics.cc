@@ -1,0 +1,212 @@
+#include "math/harmonics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "math/fft.hh"
+#include "math/matrix.hh"
+
+namespace iceb::math
+{
+
+double
+Harmonic::evaluate(double t) const
+{
+    return amplitude * std::cos(2.0 * M_PI * frequency * t + phase);
+}
+
+std::vector<Harmonic>
+decompose(const std::vector<double> &series, std::size_t max_components)
+{
+    const std::size_t n = series.size();
+    if (n < 2)
+        return {};
+
+    const std::vector<Complex> spectrum = fftReal(series);
+    std::vector<Harmonic> harmonics;
+    harmonics.reserve(n / 2);
+
+    // Real input: bins k and N-k are conjugate pairs that combine into
+    // one cosine of amplitude 2|X_k|/N. The Nyquist bin (even N only)
+    // is self-conjugate and scales by 1/N.
+    const double scale = 2.0 / static_cast<double>(n);
+    for (std::size_t k = 1; k <= n / 2; ++k) {
+        const bool nyquist = (n % 2 == 0) && (k == n / 2);
+        const double amp =
+            std::abs(spectrum[k]) * (nyquist ? 0.5 * scale : scale);
+        if (amp < 1e-12)
+            continue;
+        Harmonic h;
+        h.amplitude = amp;
+        h.frequency = static_cast<double>(k) / static_cast<double>(n);
+        h.phase = std::arg(spectrum[k]);
+        harmonics.push_back(h);
+    }
+
+    std::sort(harmonics.begin(), harmonics.end(),
+              [](const Harmonic &a, const Harmonic &b) {
+                  return a.amplitude > b.amplitude;
+              });
+    if (max_components > 0 && harmonics.size() > max_components)
+        harmonics.resize(max_components);
+    return harmonics;
+}
+
+double
+evaluateHarmonics(const std::vector<Harmonic> &harmonics, double t)
+{
+    double acc = 0.0;
+    for (const auto &h : harmonics)
+        acc += h.evaluate(t);
+    return acc;
+}
+
+std::size_t
+countSignificantHarmonics(const std::vector<double> &series,
+                          double relative_threshold)
+{
+    ICEB_ASSERT(relative_threshold > 0.0 && relative_threshold <= 1.0,
+                "threshold must be in (0, 1]");
+    const std::size_t n = series.size();
+    if (n < 4)
+        return 0;
+    const std::vector<Complex> spectrum = fftReal(series);
+    const std::size_t half = n / 2;
+    std::vector<double> magnitude(half + 1, 0.0);
+    double peak = 0.0;
+    for (std::size_t k = 1; k <= half; ++k) {
+        magnitude[k] = std::abs(spectrum[k]);
+        peak = std::max(peak, magnitude[k]);
+    }
+    if (peak < 1e-9)
+        return 0;
+    // Count spectral *peaks* (local maxima) above the relative
+    // threshold; plateau bins and the noise floor do not count as
+    // separate harmonics.
+    const double cutoff = peak * relative_threshold;
+    std::size_t count = 0;
+    for (std::size_t k = 1; k <= half; ++k) {
+        const double left = k > 1 ? magnitude[k - 1] : 0.0;
+        const double right = k < half ? magnitude[k + 1] : 0.0;
+        if (magnitude[k] >= cutoff && magnitude[k] >= left &&
+            magnitude[k] > right) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+std::vector<Harmonic>
+decomposeForExtrapolation(const std::vector<double> &series,
+                          std::size_t max_components)
+{
+    const std::size_t n = series.size();
+    if (n < 8 || max_components == 0)
+        return decompose(series, max_components);
+
+    const std::vector<Complex> spectrum = fftReal(series);
+    const std::size_t half = n / 2;
+
+    // Spectral peak picking over k = 1..n/2.
+    std::vector<double> magnitude(half + 1, 0.0);
+    for (std::size_t k = 1; k <= half; ++k)
+        magnitude[k] = std::abs(spectrum[k]);
+
+    struct Peak
+    {
+        std::size_t bin;
+        double magnitude;
+    };
+    std::vector<Peak> peaks;
+    for (std::size_t k = 1; k <= half; ++k) {
+        const double left = k > 1 ? magnitude[k - 1] : 0.0;
+        const double right = k < half ? magnitude[k + 1] : 0.0;
+        if (magnitude[k] >= left && magnitude[k] >= right &&
+            magnitude[k] > 1e-12) {
+            peaks.push_back(Peak{k, magnitude[k]});
+        }
+    }
+    if (peaks.empty())
+        return {};
+    std::sort(peaks.begin(), peaks.end(),
+              [](const Peak &a, const Peak &b) {
+                  return a.magnitude > b.magnitude;
+              });
+    if (peaks.size() > max_components)
+        peaks.resize(max_components);
+
+    // Quadratic interpolation of log-magnitudes refines each peak's
+    // frequency off the bin grid.
+    std::vector<double> frequencies;
+    for (const Peak &peak : peaks) {
+        double delta = 0.0;
+        const std::size_t k = peak.bin;
+        if (k > 1 && k < half) {
+            const double lm = std::log(magnitude[k - 1] + 1e-12);
+            const double cm = std::log(magnitude[k] + 1e-12);
+            const double rm = std::log(magnitude[k + 1] + 1e-12);
+            const double denom = lm - 2.0 * cm + rm;
+            if (std::fabs(denom) > 1e-12)
+                delta = std::clamp(0.5 * (lm - rm) / denom, -0.5, 0.5);
+        }
+        frequencies.push_back(
+            (static_cast<double>(k) + delta) / static_cast<double>(n));
+    }
+
+    // Least-squares fit of a_i*cos + b_i*sin at the refined
+    // frequencies over the window.
+    const std::size_t terms = 2 * frequencies.size();
+    Matrix xtx(terms, terms);
+    std::vector<double> xty(terms, 0.0);
+    std::vector<double> row(terms, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+        for (std::size_t i = 0; i < frequencies.size(); ++i) {
+            const double angle = 2.0 * M_PI * frequencies[i] *
+                static_cast<double>(t);
+            row[2 * i] = std::cos(angle);
+            row[2 * i + 1] = std::sin(angle);
+        }
+        for (std::size_t a = 0; a < terms; ++a) {
+            xty[a] += row[a] * series[t];
+            for (std::size_t b = 0; b < terms; ++b)
+                xtx.at(a, b) += row[a] * row[b];
+        }
+    }
+    for (std::size_t a = 0; a < terms; ++a)
+        xtx.at(a, a) += 1e-9;
+    bool singular = false;
+    const std::vector<double> coeffs =
+        solveLinearSystem(xtx, xty, &singular);
+    if (singular)
+        return decompose(series, max_components);
+
+    std::vector<Harmonic> harmonics;
+    harmonics.reserve(frequencies.size());
+    for (std::size_t i = 0; i < frequencies.size(); ++i) {
+        const double a = coeffs[2 * i];
+        const double b = coeffs[2 * i + 1];
+        Harmonic h;
+        h.amplitude = std::sqrt(a * a + b * b);
+        h.frequency = frequencies[i];
+        // a*cos(wt) + b*sin(wt) = A*cos(wt + phase).
+        h.phase = std::atan2(-b, a);
+        harmonics.push_back(h);
+    }
+    std::sort(harmonics.begin(), harmonics.end(),
+              [](const Harmonic &x, const Harmonic &y) {
+                  return x.amplitude > y.amplitude;
+              });
+    return harmonics;
+}
+
+double
+dominantPeriod(const std::vector<double> &series)
+{
+    const std::vector<Harmonic> top = decompose(series, 1);
+    if (top.empty() || top.front().amplitude < 1e-9)
+        return 0.0;
+    return 1.0 / top.front().frequency;
+}
+
+} // namespace iceb::math

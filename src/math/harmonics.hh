@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Spectral (harmonic) decomposition of real time series.
+ *
+ * IceBreaker's FIP models a detrended invocation-concurrency window as
+ * a sum of its top-n harmonics, each a cosine with amplitude,
+ * frequency and phase taken from the FFT, then extrapolates one
+ * interval into the future (Sec. 3.1, Eq. for f(t_k + 1)).
+ */
+
+#ifndef ICEB_MATH_HARMONICS_HH
+#define ICEB_MATH_HARMONICS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace iceb::math
+{
+
+/** One sinusoidal component: amplitude * cos(2*pi*frequency*t + phase). */
+struct Harmonic
+{
+    double amplitude = 0.0; //!< peak amplitude in concurrency units
+    double frequency = 0.0; //!< cycles per interval (k / N)
+    double phase = 0.0;     //!< radians
+
+    /** Evaluate this component at (continuous) time t. */
+    double evaluate(double t) const;
+};
+
+/**
+ * Decompose a real series into its harmonics sorted by descending
+ * amplitude. The DC bin is excluded (the FIP's polynomial trend
+ * carries the level); for even N the Nyquist bin is included with the
+ * appropriate 1/N scaling.
+ *
+ * @param series Detrended samples at t = 0..N-1.
+ * @param max_components Keep at most this many (0 keeps all).
+ */
+std::vector<Harmonic> decompose(const std::vector<double> &series,
+                                std::size_t max_components);
+
+/** Sum of harmonic contributions at time t. */
+double evaluateHarmonics(const std::vector<Harmonic> &harmonics, double t);
+
+/**
+ * Count "significant" harmonics: spectral peaks whose amplitude is at
+ * least @p relative_threshold of the largest component. Reproduces the
+ * paper's Fig. 5(b) census (25% of functions have >= 1 extra harmonic,
+ * 98% have < 10).
+ */
+std::size_t countSignificantHarmonics(const std::vector<double> &series,
+                                      double relative_threshold = 0.2);
+
+/**
+ * Dominant period of the series in intervals (1 / frequency of the
+ * largest harmonic); 0 when the series has no oscillatory component.
+ */
+double dominantPeriod(const std::vector<double> &series);
+
+/**
+ * Extrapolation-grade decomposition. Harmonics at exact FFT bin
+ * frequencies k/N all wrap at t = N (the "forecast" would equal the
+ * window's first sample), so this variant: (1) finds the top spectral
+ * peaks, (2) refines each peak frequency by quadratic interpolation
+ * of the log-magnitude spectrum, and (3) least-squares fits
+ * amplitude and phase at the refined frequencies. The result
+ * genuinely extrapolates beyond the window.
+ *
+ * @param series Detrended samples at t = 0..N-1.
+ * @param max_components Keep at most this many peaks.
+ */
+std::vector<Harmonic>
+decomposeForExtrapolation(const std::vector<double> &series,
+                          std::size_t max_components);
+
+} // namespace iceb::math
+
+#endif // ICEB_MATH_HARMONICS_HH

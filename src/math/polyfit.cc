@@ -1,0 +1,107 @@
+#include "math/polyfit.hh"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "math/matrix.hh"
+
+namespace iceb::math
+{
+
+Polynomial::Polynomial(std::size_t degree)
+    : coeffs_(degree + 1, 0.0)
+{
+}
+
+Polynomial::Polynomial(std::vector<double> coeffs)
+    : coeffs_(std::move(coeffs))
+{
+    ICEB_ASSERT(!coeffs_.empty(), "polynomial needs a coefficient");
+}
+
+double
+Polynomial::coeff(std::size_t power) const
+{
+    return power < coeffs_.size() ? coeffs_[power] : 0.0;
+}
+
+double
+Polynomial::evaluate(double t) const
+{
+    double acc = 0.0;
+    for (std::size_t i = coeffs_.size(); i-- > 0;)
+        acc = acc * t + coeffs_[i];
+    return acc;
+}
+
+Polynomial
+polyfit(const std::vector<double> &x, const std::vector<double> &y,
+        std::size_t degree)
+{
+    ICEB_ASSERT(x.size() == y.size(), "polyfit size mismatch");
+    ICEB_ASSERT(!x.empty(), "polyfit of empty data");
+    const std::size_t terms = degree + 1;
+
+    // Normal equations: (V^T V) c = V^T y with Vandermonde V. Only the
+    // power sums sum_i x_i^k (k <= 2*degree) and sum_i x_i^k * y_i
+    // (k <= degree) are needed.
+    Matrix ata(terms, terms);
+    std::vector<double> aty(terms, 0.0);
+    std::vector<double> powers(2 * degree + 1, 0.0);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        double xk = 1.0;
+        for (std::size_t k = 0; k < powers.size(); ++k) {
+            powers[k] += xk;
+            if (k < terms)
+                aty[k] += xk * y[i];
+            xk *= x[i];
+        }
+    }
+    for (std::size_t r = 0; r < terms; ++r)
+        for (std::size_t c = 0; c < terms; ++c)
+            ata.at(r, c) = powers[r + c];
+
+    bool singular = false;
+    std::vector<double> coeffs = solveLinearSystem(ata, aty, &singular);
+    if (singular) {
+        // Degenerate sample (e.g. constant x): fall back to mean level.
+        const double mean =
+            std::accumulate(y.begin(), y.end(), 0.0) /
+            static_cast<double>(y.size());
+        std::vector<double> fallback(terms, 0.0);
+        fallback[0] = mean;
+        return Polynomial(std::move(fallback));
+    }
+    return Polynomial(std::move(coeffs));
+}
+
+Polynomial
+polyfitSeries(const std::vector<double> &y, std::size_t degree)
+{
+    std::vector<double> x(y.size());
+    std::iota(x.begin(), x.end(), 0.0);
+    return polyfit(x, y, degree);
+}
+
+std::vector<double>
+detrend(const std::vector<double> &y, const Polynomial &trend)
+{
+    std::vector<double> out(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        out[i] = y[i] - trend.evaluate(static_cast<double>(i));
+    return out;
+}
+
+double
+residualSumOfSquares(const std::vector<double> &y, const Polynomial &trend)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        const double r = y[i] - trend.evaluate(static_cast<double>(i));
+        acc += r * r;
+    }
+    return acc;
+}
+
+} // namespace iceb::math

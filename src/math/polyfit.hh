@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Least-squares polynomial fitting and detrending.
+ *
+ * IceBreaker's FIP fits a second-order polynomial a*t^2 + b*t + c to
+ * the invocation-concurrency window to capture the overall trend,
+ * subtracts it, and hands the residual to the FFT (Sec. 3.1 of the
+ * paper).
+ */
+
+#ifndef ICEB_MATH_POLYFIT_HH
+#define ICEB_MATH_POLYFIT_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace iceb::math
+{
+
+/**
+ * Polynomial with coefficients stored lowest-order first:
+ * coeffs[0] + coeffs[1]*t + coeffs[2]*t^2 + ...
+ */
+class Polynomial
+{
+  public:
+    /** Zero polynomial of the given degree. */
+    explicit Polynomial(std::size_t degree = 0);
+
+    /** Construct from coefficients (lowest order first). */
+    explicit Polynomial(std::vector<double> coeffs);
+
+    /** Polynomial degree (number of coefficients minus one). */
+    std::size_t degree() const { return coeffs_.size() - 1; }
+
+    /** Coefficient of t^power (0 when beyond the stored degree). */
+    double coeff(std::size_t power) const;
+
+    /** Evaluate at t via Horner's rule. */
+    double evaluate(double t) const;
+
+  private:
+    std::vector<double> coeffs_;
+};
+
+/**
+ * Fit a least-squares polynomial of the given degree to the points
+ * (x[i], y[i]). Uses the normal equations solved by Gaussian
+ * elimination; adequate for the low degrees (<= 3) used here.
+ *
+ * If the system is singular (e.g. fewer distinct x values than
+ * coefficients) the fit degrades gracefully to the mean of y.
+ */
+Polynomial polyfit(const std::vector<double> &x,
+                   const std::vector<double> &y, std::size_t degree);
+
+/**
+ * Fit over implicit x = 0, 1, ..., y.size()-1; the form the FIP uses
+ * on its local window.
+ */
+Polynomial polyfitSeries(const std::vector<double> &y, std::size_t degree);
+
+/** Subtract a polynomial trend evaluated at x = 0..n-1 from y. */
+std::vector<double> detrend(const std::vector<double> &y,
+                            const Polynomial &trend);
+
+/** Residual sum of squares of a fit over implicit x = 0..n-1. */
+double residualSumOfSquares(const std::vector<double> &y,
+                            const Polynomial &trend);
+
+} // namespace iceb::math
+
+#endif // ICEB_MATH_POLYFIT_HH

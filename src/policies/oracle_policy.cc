@@ -1,0 +1,51 @@
+#include "policies/oracle_policy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace iceb::policies
+{
+
+void
+OraclePolicy::initialize(const sim::SimContext &ctx)
+{
+    Policy::initialize(ctx);
+    ICEB_ASSERT(ctx.arrival_schedule != nullptr,
+                "oracle needs the arrival schedule");
+    cursor_.assign(ctx.arrival_schedule->size(), 0);
+}
+
+void
+OraclePolicy::onIntervalStart(IntervalIndex interval,
+                              sim::WarmupInterface &cluster)
+{
+    // Warm up everything arriving in the *next* interval: a warm-up
+    // may have to begin inside the current interval for setup to
+    // finish exactly at the arrival instant.
+    const TimeMs interval_ms = ctx_->interval_ms;
+    const TimeMs window_end =
+        (static_cast<TimeMs>(interval) + 2) * interval_ms;
+    const TimeMs now = cluster.now();
+
+    for (FunctionId fn = 0; fn < cursor_.size(); ++fn) {
+        const auto &schedule = (*ctx_->arrival_schedule)[fn];
+        const workload::FunctionProfile &profile =
+            (*ctx_->profiles)[fn];
+        // Oracle executes on the fastest tier; setup falls back to
+        // low-end inside the simulator when high-end is full.
+        const TimeMs cst = profile.coldStartMs(Tier::HighEnd);
+        std::size_t &cursor = cursor_[fn];
+        while (cursor < schedule.size() &&
+               schedule[cursor] < window_end) {
+            const TimeMs arrival = schedule[cursor];
+            const TimeMs start = std::max(now, arrival - cst);
+            cluster.schedulePrewarm(fn, Tier::HighEnd, start,
+                                    arrival + kMsPerMinute);
+            ++cursor;
+        }
+    }
+}
+
+} // namespace iceb::policies

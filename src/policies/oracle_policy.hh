@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Oracle warm-up policy: the paper's offline upper bound.
+ *
+ * Knows every future invocation exactly (it reads the simulator's
+ * arrival schedule) and warms each instance just-in-time so setup
+ * completes precisely at the arrival. Containers are torn down
+ * immediately after execution, so keep-alive cost is (essentially)
+ * zero and every invocation is a warm start whenever memory allows.
+ * Not implementable online; it bounds the achievable service time.
+ */
+
+#ifndef ICEB_POLICIES_ORACLE_POLICY_HH
+#define ICEB_POLICIES_ORACLE_POLICY_HH
+
+#include <vector>
+
+#include "sim/policy.hh"
+
+namespace iceb::policies
+{
+
+/**
+ * Just-in-time, future-knowledge policy.
+ */
+class OraclePolicy : public sim::Policy
+{
+  public:
+    OraclePolicy() = default;
+
+    const char *name() const override { return "oracle"; }
+
+    void initialize(const sim::SimContext &ctx) override;
+    void onIntervalStart(IntervalIndex interval,
+                         sim::WarmupInterface &cluster) override;
+
+    TimeMs
+    keepAliveAfterExecutionMs(FunctionId fn, Tier tier, TimeMs now)
+        override
+    {
+        (void)fn;
+        (void)tier;
+        (void)now;
+        return 0; // tear down instantly; the next warm-up is JIT
+    }
+
+  private:
+    /** Per-function cursor into the arrival schedule. */
+    std::vector<std::size_t> cursor_;
+};
+
+} // namespace iceb::policies
+
+#endif // ICEB_POLICIES_ORACLE_POLICY_HH

@@ -1,0 +1,24 @@
+#include "policies/policy_util.hh"
+
+namespace iceb::policies
+{
+
+std::size_t
+warmWithSpill(sim::WarmupInterface &cluster, FunctionId fn, Tier primary,
+              std::size_t count, TimeMs expiry, sim::Policy &policy)
+{
+    if (count == 0)
+        return 0;
+    std::size_t placed = cluster.ensureWarm(fn, primary, count, expiry);
+    if (placed < count) {
+        placed += cluster.ensureWarm(fn, otherTier(primary),
+                                     count - placed, expiry);
+    }
+    if (placed < count) {
+        placed += cluster.ensureWarmEvicting(fn, primary, count - placed,
+                                             expiry, policy);
+    }
+    return placed;
+}
+
+} // namespace iceb::policies

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Shared helpers for policy implementations.
+ */
+
+#ifndef ICEB_POLICIES_POLICY_UTIL_HH
+#define ICEB_POLICIES_POLICY_UTIL_HH
+
+#include "sim/policy.hh"
+
+namespace iceb::policies
+{
+
+/**
+ * Warm @p count instances of @p fn, preferring @p primary, spilling
+ * any shortfall onto the other tier (the heterogeneity-aware
+ * placement the paper applies to every scheme), and finally evicting
+ * in @p policy's priority order. Returns instances actually
+ * provisioned across both tiers.
+ */
+std::size_t warmWithSpill(sim::WarmupInterface &cluster, FunctionId fn,
+                          Tier primary, std::size_t count, TimeMs expiry,
+                          sim::Policy &policy);
+
+/**
+ * Small margin added to expiries that land exactly on the next
+ * decision boundary, so renewal (processed at the boundary) wins the
+ * race against expiry.
+ */
+inline constexpr TimeMs kRenewalGraceMs = 1500;
+
+} // namespace iceb::policies
+
+#endif // ICEB_POLICIES_POLICY_UTIL_HH

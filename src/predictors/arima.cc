@@ -1,0 +1,210 @@
+#include "predictors/arima.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "math/matrix.hh"
+#include "math/stats.hh"
+
+namespace iceb::predictors
+{
+
+namespace
+{
+
+/**
+ * Ordinary least squares: regress y on the rows of the design matrix
+ * (each row one observation). Returns the coefficient vector, or an
+ * empty vector when the normal equations are singular.
+ */
+std::vector<double>
+leastSquares(const std::vector<std::vector<double>> &rows,
+             const std::vector<double> &y)
+{
+    ICEB_ASSERT(!rows.empty() && rows.size() == y.size(),
+                "least-squares shape mismatch");
+    const std::size_t k = rows.front().size();
+    math::Matrix xtx(k, k);
+    std::vector<double> xty(k, 0.0);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        ICEB_ASSERT(rows[i].size() == k, "ragged design matrix");
+        for (std::size_t a = 0; a < k; ++a) {
+            xty[a] += rows[i][a] * y[i];
+            for (std::size_t b = 0; b < k; ++b)
+                xtx.at(a, b) += rows[i][a] * rows[i][b];
+        }
+    }
+    // Proportional ridge regularisation: lagged-regressor columns of
+    // periodic series are near-collinear, and an unregularised fit
+    // produces wild coefficients.
+    for (std::size_t a = 0; a < k; ++a)
+        xtx.at(a, a) += 1e-3 * xtx.at(a, a) + 1e-8;
+    bool singular = false;
+    std::vector<double> coeffs =
+        math::solveLinearSystem(xtx, xty, &singular);
+    if (singular)
+        return {};
+    return coeffs;
+}
+
+} // namespace
+
+ArimaPredictor::ArimaPredictor(ArimaConfig config)
+    : config_(config)
+{
+    ICEB_ASSERT(config_.p >= 1, "ARIMA needs p >= 1");
+    ICEB_ASSERT(config_.window > config_.p + config_.q + config_.d + 5,
+                "ARIMA window too small for its order");
+}
+
+std::vector<double>
+ArimaPredictor::difference(const std::vector<double> &y, std::size_t d)
+{
+    std::vector<double> out = y;
+    for (std::size_t round = 0; round < d; ++round) {
+        if (out.size() < 2)
+            return {};
+        std::vector<double> next(out.size() - 1);
+        for (std::size_t i = 1; i < out.size(); ++i)
+            next[i - 1] = out[i] - out[i - 1];
+        out = std::move(next);
+    }
+    return out;
+}
+
+void
+ArimaPredictor::observe(double concurrency)
+{
+    if (history_.size() == config_.window)
+        history_.erase(history_.begin());
+    history_.push_back(std::max(0.0, concurrency));
+    ++since_refit_;
+    if (since_refit_ >= config_.refit_every) {
+        refit();
+        since_refit_ = 0;
+    }
+}
+
+void
+ArimaPredictor::refit()
+{
+    fitted_ = false;
+    const std::vector<double> w = difference(history_, config_.d);
+    const std::size_t min_len =
+        std::max(config_.p, config_.q) + config_.p + config_.q + 5;
+    if (w.size() < min_len)
+        return;
+
+    // Stage 1: long autoregression to estimate innovations.
+    const std::size_t long_order =
+        std::min(config_.p + config_.q + 3, w.size() / 3);
+    std::vector<std::vector<double>> rows1;
+    std::vector<double> y1;
+    for (std::size_t t = long_order; t < w.size(); ++t) {
+        std::vector<double> row;
+        row.push_back(1.0);
+        for (std::size_t lag = 1; lag <= long_order; ++lag)
+            row.push_back(w[t - lag]);
+        rows1.push_back(std::move(row));
+        y1.push_back(w[t]);
+    }
+    const std::vector<double> long_coeffs = leastSquares(rows1, y1);
+    if (long_coeffs.empty())
+        return;
+
+    std::vector<double> innovations(w.size(), 0.0);
+    for (std::size_t t = long_order; t < w.size(); ++t) {
+        double fit = long_coeffs[0];
+        for (std::size_t lag = 1; lag <= long_order; ++lag)
+            fit += long_coeffs[lag] * w[t - lag];
+        innovations[t] = w[t] - fit;
+    }
+
+    // Stage 2: regress on p AR lags and q lagged innovations.
+    const std::size_t start =
+        std::max(config_.p, config_.q) + long_order;
+    if (start >= w.size())
+        return;
+    std::vector<std::vector<double>> rows2;
+    std::vector<double> y2;
+    for (std::size_t t = start; t < w.size(); ++t) {
+        std::vector<double> row;
+        row.push_back(1.0);
+        for (std::size_t lag = 1; lag <= config_.p; ++lag)
+            row.push_back(w[t - lag]);
+        for (std::size_t lag = 1; lag <= config_.q; ++lag)
+            row.push_back(innovations[t - lag]);
+        rows2.push_back(std::move(row));
+        y2.push_back(w[t]);
+    }
+    const std::vector<double> coeffs = leastSquares(rows2, y2);
+    if (coeffs.empty())
+        return;
+
+    intercept_ = coeffs[0];
+    ar_coeffs_.assign(coeffs.begin() + 1,
+                      coeffs.begin() + 1 +
+                          static_cast<std::ptrdiff_t>(config_.p));
+    ma_coeffs_.assign(
+        coeffs.begin() + 1 + static_cast<std::ptrdiff_t>(config_.p),
+        coeffs.end());
+    // Keep the MA part invertible; a recursive residual filter with
+    // |theta| >= 1 diverges.
+    for (double &theta : ma_coeffs_)
+        theta = std::clamp(theta, -0.95, 0.95);
+
+    // Standard Hannan-Rissanen: the stage-1 innovations serve as the
+    // estimated shocks for forecasting.
+    residuals_ = innovations;
+    fitted_ = true;
+}
+
+double
+ArimaPredictor::predictNext()
+{
+    if (history_.empty())
+        return 0.0;
+    if (!fitted_)
+        return std::max(0.0, math::mean(history_));
+
+    const std::vector<double> w = difference(history_, config_.d);
+    if (w.size() < config_.p)
+        return std::max(0.0, history_.back());
+
+    double w_hat = intercept_;
+    for (std::size_t lag = 1; lag <= config_.p; ++lag)
+        w_hat += ar_coeffs_[lag - 1] * w[w.size() - lag];
+    for (std::size_t lag = 1;
+         lag <= config_.q && lag <= residuals_.size(); ++lag) {
+        w_hat += ma_coeffs_[lag - 1] * residuals_[residuals_.size() - lag];
+    }
+
+    // Undifference: fold the forecast back up through each level.
+    double forecast = w_hat;
+    for (std::size_t level = config_.d; level-- > 0;) {
+        const std::vector<double> series =
+            difference(history_, level);
+        ICEB_ASSERT(!series.empty(), "undifference underflow");
+        forecast += series.back();
+    }
+    // An unstable fit (e.g. right after a regime change) can produce
+    // runaway forecasts; clamp to a multiple of the observed range,
+    // as any deployed controller would.
+    const double ceiling =
+        2.0 * *std::max_element(history_.begin(), history_.end()) + 1.0;
+    return std::clamp(forecast, 0.0, ceiling);
+}
+
+void
+ArimaPredictor::reset()
+{
+    history_.clear();
+    ar_coeffs_.clear();
+    ma_coeffs_.clear();
+    residuals_.clear();
+    intercept_ = 0.0;
+    fitted_ = false;
+    since_refit_ = 0;
+}
+
+} // namespace iceb::predictors

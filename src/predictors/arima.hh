@@ -1,0 +1,73 @@
+/**
+ * @file
+ * ARIMA(p, d, q) predictor.
+ *
+ * This is the invocation-concurrency predictor the paper attributes
+ * to "Serverless in the Wild" (enhanced, as the paper did, to predict
+ * counts and with tunable lags/differencing/moving-average order).
+ * Fitting uses the Hannan-Rissanen two-stage procedure: a long
+ * autoregression estimates the innovations, then the final AR + MA
+ * coefficients come from one least-squares regression.
+ */
+
+#ifndef ICEB_PREDICTORS_ARIMA_HH
+#define ICEB_PREDICTORS_ARIMA_HH
+
+#include <vector>
+
+#include "predictors/predictor.hh"
+
+namespace iceb::predictors
+{
+
+/** ARIMA order and window configuration. */
+struct ArimaConfig
+{
+    std::size_t p = 3;        //!< autoregressive lags
+    std::size_t d = 1;        //!< degree of differencing
+    std::size_t q = 2;        //!< moving-average order
+    std::size_t window = 120; //!< history kept for refitting
+    /**
+     * Refit cadence in observations. ARIMA fitting is the expensive
+     * part, so deployed controllers refit sparingly (hourly here);
+     * between refits the stale model keeps forecasting -- which is
+     * precisely why it is slow to adapt when the invocation
+     * periodicity changes (paper Figs. 4 and 10).
+     */
+    std::size_t refit_every = 60;
+};
+
+/**
+ * ARIMA predictor over a sliding window.
+ */
+class ArimaPredictor : public Predictor
+{
+  public:
+    explicit ArimaPredictor(ArimaConfig config = {});
+
+    const char *name() const override { return "arima"; }
+    void observe(double concurrency) override;
+    double predictNext() override;
+    void reset() override;
+
+    const ArimaConfig &config() const { return config_; }
+
+  private:
+    /** Difference a series @p d times. */
+    static std::vector<double> difference(const std::vector<double> &y,
+                                          std::size_t d);
+    void refit();
+
+    ArimaConfig config_;
+    std::vector<double> history_;
+    std::vector<double> ar_coeffs_; //!< phi_1..phi_p
+    std::vector<double> ma_coeffs_; //!< theta_1..theta_q
+    std::vector<double> residuals_; //!< innovations of the last fit
+    double intercept_ = 0.0;
+    bool fitted_ = false;
+    std::size_t since_refit_ = 0;
+};
+
+} // namespace iceb::predictors
+
+#endif // ICEB_PREDICTORS_ARIMA_HH

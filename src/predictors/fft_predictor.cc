@@ -1,0 +1,80 @@
+#include "predictors/fft_predictor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "math/harmonics.hh"
+#include "math/polyfit.hh"
+#include "math/stats.hh"
+
+namespace iceb::predictors
+{
+
+FftPredictor::FftPredictor(FftPredictorConfig config)
+    : config_(config)
+{
+    ICEB_ASSERT(config_.window >= 4, "FIP window too small");
+    ICEB_ASSERT(config_.harmonics >= 1, "FIP needs >= 1 harmonic");
+    window_.reserve(config_.window);
+}
+
+void
+FftPredictor::observe(double concurrency)
+{
+    if (window_.size() == config_.window)
+        window_.erase(window_.begin());
+    window_.push_back(std::max(0.0, concurrency));
+}
+
+double
+FftPredictor::predictNext()
+{
+    return forecastHorizon(1).front();
+}
+
+std::vector<double>
+FftPredictor::forecastHorizon(std::size_t horizon)
+{
+    ICEB_ASSERT(horizon >= 1, "horizon must be positive");
+    std::vector<double> out(horizon, 0.0);
+    if (window_.empty())
+        return out;
+    // Fast path: a silent window forecasts silence (this is the
+    // common case for infrequent functions and keeps per-interval
+    // overhead low across large traces).
+    const bool all_zero = std::all_of(
+        window_.begin(), window_.end(),
+        [](double v) { return v == 0.0; });
+    if (all_zero)
+        return out;
+    if (window_.size() < config_.min_samples) {
+        std::fill(out.begin(), out.end(),
+                  std::max(0.0, math::mean(window_)));
+        return out;
+    }
+
+    // Trend + top-n harmonics of the detrended residual, extrapolated
+    // past the window (t = window length onward).
+    const math::Polynomial trend =
+        math::polyfitSeries(window_, config_.poly_degree);
+    const std::vector<double> residual = math::detrend(window_, trend);
+    const std::vector<math::Harmonic> harmonics =
+        math::decomposeForExtrapolation(residual, config_.harmonics);
+
+    for (std::size_t step = 0; step < horizon; ++step) {
+        const double t =
+            static_cast<double>(window_.size() + step);
+        const double forecast = trend.evaluate(t) +
+            math::evaluateHarmonics(harmonics, t);
+        out[step] = std::max(0.0, forecast);
+    }
+    return out;
+}
+
+void
+FftPredictor::reset()
+{
+    window_.clear();
+}
+
+} // namespace iceb::predictors

@@ -1,0 +1,65 @@
+#include "predictors/prediction_tracker.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace iceb::predictors
+{
+
+PredictionTracker::PredictionTracker(std::size_t window)
+    : window_(window)
+{
+    ICEB_ASSERT(window_ >= 1, "tracker window must be positive");
+}
+
+void
+PredictionTracker::recordInterval(std::uint32_t invoked,
+                                  std::uint32_t cold_starts,
+                                  std::uint32_t wasted_warmups)
+{
+    ICEB_ASSERT(cold_starts <= invoked,
+                "more cold starts than invocations");
+    if (records_.size() == window_) {
+        const Record &old = records_.front();
+        sum_invoked_ -= old.invoked;
+        sum_cold_ -= old.cold;
+        sum_wasted_ -= old.wasted;
+        records_.pop_front();
+    }
+    records_.push_back(Record{invoked, cold_starts, wasted_warmups});
+    sum_invoked_ += invoked;
+    sum_cold_ += cold_starts;
+    sum_wasted_ += wasted_warmups;
+}
+
+double
+PredictionTracker::trueNegativeRate() const
+{
+    if (sum_invoked_ == 0)
+        return 0.0;
+    return std::min(1.0, static_cast<double>(sum_cold_) /
+                             static_cast<double>(sum_invoked_));
+}
+
+double
+PredictionTracker::falsePositiveRate() const
+{
+    if (sum_invoked_ == 0) {
+        // Warming with zero invocations is pure waste.
+        return sum_wasted_ > 0 ? 1.0 : 0.0;
+    }
+    return static_cast<double>(sum_wasted_) /
+        static_cast<double>(sum_invoked_);
+}
+
+void
+PredictionTracker::reset()
+{
+    records_.clear();
+    sum_invoked_ = 0;
+    sum_cold_ = 0;
+    sum_wasted_ = 0;
+}
+
+} // namespace iceb::predictors

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Sliding-window prediction-quality tracker.
+ *
+ * Feeds the PDM's utility score: the true-negative rate T_n (observed
+ * cold starts over invocations in the local window -- the FIP warmed
+ * too few instances) and the false-positive rate F_p (instances
+ * warmed but never invoked over invocations in the window -- the FIP
+ * warmed too many). Definitions follow Sec. 3.2 of the paper.
+ */
+
+#ifndef ICEB_PREDICTORS_PREDICTION_TRACKER_HH
+#define ICEB_PREDICTORS_PREDICTION_TRACKER_HH
+
+#include <cstdint>
+#include <deque>
+
+namespace iceb::predictors
+{
+
+/**
+ * Per-function window of prediction outcomes.
+ */
+class PredictionTracker
+{
+  public:
+    /** @param window Local window length in intervals (1 hour). */
+    explicit PredictionTracker(std::size_t window = 60);
+
+    /**
+     * Close out one interval with its totals.
+     *
+     * @param invoked Invocations that arrived in the interval.
+     * @param cold_starts Of those, how many were cold.
+     * @param wasted_warmups Instances warmed in the interval that
+     *                       were destroyed without serving anyone.
+     */
+    void recordInterval(std::uint32_t invoked, std::uint32_t cold_starts,
+                        std::uint32_t wasted_warmups);
+
+    /** T_n: cold starts / invocations over the window, in [0, 1]. */
+    double trueNegativeRate() const;
+
+    /**
+     * F_p: wasted warm-ups / invocations over the window. Can exceed
+     * 1 when far more instances were warmed than invoked; the utility
+     * score's min-max normalisation handles the range.
+     */
+    double falsePositiveRate() const;
+
+    /** Invocations currently inside the window. */
+    std::uint64_t windowInvocations() const { return sum_invoked_; }
+
+    /** Drop all state. */
+    void reset();
+
+  private:
+    struct Record
+    {
+        std::uint32_t invoked = 0;
+        std::uint32_t cold = 0;
+        std::uint32_t wasted = 0;
+    };
+
+    std::size_t window_;
+    std::deque<Record> records_;
+    std::uint64_t sum_invoked_ = 0;
+    std::uint64_t sum_cold_ = 0;
+    std::uint64_t sum_wasted_ = 0;
+};
+
+} // namespace iceb::predictors
+
+#endif // ICEB_PREDICTORS_PREDICTION_TRACKER_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Common interface for function-invocation predictors.
+ *
+ * A predictor consumes the invocation concurrency of each completed
+ * decision interval and forecasts the concurrency of the next one.
+ * Inter-arrival time prediction falls out of it: it is the gap
+ * between two non-zero concurrency predictions (paper Sec. 3.1).
+ */
+
+#ifndef ICEB_PREDICTORS_PREDICTOR_HH
+#define ICEB_PREDICTORS_PREDICTOR_HH
+
+#include <memory>
+
+namespace iceb::predictors
+{
+
+/**
+ * One-step-ahead time-series predictor.
+ */
+class Predictor
+{
+  public:
+    virtual ~Predictor() = default;
+
+    /** Scheme name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Feed the actual concurrency of the interval that just ended. */
+    virtual void observe(double concurrency) = 0;
+
+    /**
+     * Forecast the next interval's concurrency. Never negative;
+     * callers round to a whole instance count.
+     */
+    virtual double predictNext() = 0;
+
+    /** Drop all learned state. */
+    virtual void reset() = 0;
+};
+
+/** Owning predictor handle. */
+using PredictorPtr = std::unique_ptr<Predictor>;
+
+} // namespace iceb::predictors
+
+#endif // ICEB_PREDICTORS_PREDICTOR_HH

@@ -1,0 +1,520 @@
+#include "sim/cluster.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace iceb::sim
+{
+
+ClusterState::ClusterState(
+    const ClusterConfig &config,
+    const std::vector<workload::FunctionProfile> &profiles,
+    EventQueue &events, MetricsCollector &metrics)
+    : config_(config), profiles_(profiles), events_(events),
+      metrics_(metrics)
+{
+    pools_.resize(profiles_.size());
+    live_per_fn_.assign(profiles_.size(), 0);
+    for (int t = 0; t < kNumTiers; ++t) {
+        const auto tier = static_cast<Tier>(t);
+        const TierSpec &spec = config_.spec(tier);
+        rate_mb_ms_[static_cast<std::size_t>(t)] =
+            dollarsPerGbHourToMbMs(spec.dollars_per_gb_hour);
+        for (std::size_t i = 0; i < spec.server_count; ++i) {
+            Server server;
+            server.id = static_cast<ServerId>(servers_.size());
+            server.tier = tier;
+            server.capacity_mb = spec.memory_per_server_mb;
+            server.free_mb = spec.memory_per_server_mb;
+            tier_servers_[static_cast<std::size_t>(t)].push_back(
+                server.id);
+            servers_.push_back(server);
+        }
+    }
+}
+
+const workload::FunctionProfile &
+ClusterState::profileOf(FunctionId fn) const
+{
+    ICEB_ASSERT(fn < profiles_.size(), "unknown function profile");
+    return profiles_[fn];
+}
+
+double
+ClusterState::rateMbMs(Tier tier) const
+{
+    return rate_mb_ms_[static_cast<std::size_t>(tierIndex(tier))];
+}
+
+ServerId
+ClusterState::pickServer(Tier tier, MemoryMb memory_mb) const
+{
+    // Worst-fit: the server with the most free memory, which balances
+    // load and leaves room for large functions elsewhere.
+    ServerId best = kInvalidServer;
+    MemoryMb best_free = memory_mb - 1;
+    for (ServerId sid :
+         tier_servers_[static_cast<std::size_t>(tierIndex(tier))]) {
+        const Server &server = servers_[sid];
+        if (server.free_mb > best_free) {
+            best_free = server.free_mb;
+            best = sid;
+        }
+    }
+    return best;
+}
+
+ContainerId
+ClusterState::createContainer(FunctionId fn, Tier tier, ServerId server,
+                              ContainerState state)
+{
+    const workload::FunctionProfile &profile = profileOf(fn);
+    Server &host = servers_[server];
+    ICEB_ASSERT(host.free_mb >= profile.memory_mb,
+                "server has no room for container");
+    host.free_mb -= profile.memory_mb;
+
+    Container c;
+    c.id = next_container_id_++;
+    c.fn = fn;
+    c.server = server;
+    c.tier = tier;
+    c.state = state;
+    c.memory_mb = profile.memory_mb;
+    c.ready_at = now_ + profile.coldStartMs(tier);
+    c.last_used = now_;
+    const ContainerId id = c.id;
+    containers_.emplace(id, c);
+    ++live_per_fn_[fn];
+    return id;
+}
+
+void
+ClusterState::removeFromPool(std::vector<ContainerId> &pool,
+                             ContainerId id)
+{
+    const auto it = std::find(pool.begin(), pool.end(), id);
+    ICEB_ASSERT(it != pool.end(), "container missing from pool");
+    pool.erase(it);
+}
+
+void
+ClusterState::scheduleExpiry(Container &c)
+{
+    ++c.expiry_token;
+    Event event;
+    event.time = c.expiry;
+    event.type = EventType::ContainerExpiry;
+    event.container = c.id;
+    event.token = c.expiry_token;
+    events_.push(event);
+}
+
+void
+ClusterState::pushEvictEntry(const Container &c, double priority)
+{
+    EvictEntry entry;
+    entry.priority = priority;
+    entry.seq = next_evict_seq_++;
+    entry.id = c.id;
+    entry.token = c.expiry_token;
+    evict_heaps_[static_cast<std::size_t>(tierIndex(c.tier))].push(entry);
+}
+
+std::size_t
+ClusterState::ensureWarm(FunctionId fn, Tier tier, std::size_t count,
+                         TimeMs expiry)
+{
+    return ensureWarmImpl(fn, tier, count, expiry, nullptr);
+}
+
+std::size_t
+ClusterState::ensureWarmEvicting(FunctionId fn, Tier tier,
+                                 std::size_t count, TimeMs expiry,
+                                 Policy &policy)
+{
+    return ensureWarmImpl(fn, tier, count, expiry, &policy);
+}
+
+std::size_t
+ClusterState::ensureWarmImpl(FunctionId fn, Tier tier, std::size_t count,
+                             TimeMs expiry, Policy *evict_with)
+{
+    ICEB_ASSERT(fn < pools_.size(), "ensureWarm for unknown function");
+    FunctionPools &pools = pools_[fn];
+    const auto t = static_cast<std::size_t>(tierIndex(tier));
+    auto &idle = pools.idle[t];
+    auto &setup = pools.setup[t];
+
+    std::size_t provisioned = 0;
+
+    // Renew existing instances, newest first, up to the target count.
+    for (auto it = idle.rbegin();
+         it != idle.rend() && provisioned < count; ++it) {
+        Container &c = containers_.at(*it);
+        if (expiry > c.expiry) {
+            c.expiry = expiry;
+            scheduleExpiry(c);
+        }
+        ++provisioned;
+    }
+    for (auto it = setup.rbegin();
+         it != setup.rend() && provisioned < count; ++it) {
+        Container &c = containers_.at(*it);
+        if (expiry > c.expiry)
+            c.expiry = expiry;
+        ++provisioned;
+    }
+
+    // Create the shortfall from vacant memory (optionally evicting
+    // lower-priority idle containers of other functions).
+    const workload::FunctionProfile &profile = profileOf(fn);
+    while (provisioned < count) {
+        ServerId server = pickServer(tier, profile.memory_mb);
+        if (server == kInvalidServer && evict_with &&
+            evictToFit(tier, profile.memory_mb, *evict_with, fn)) {
+            server = pickServer(tier, profile.memory_mb);
+        }
+        if (server == kInvalidServer)
+            break;
+        const ContainerId id =
+            createContainer(fn, tier, server, ContainerState::Setup);
+        Container &c = containers_.at(id);
+        c.expiry = expiry;
+        c.prewarmed_unused = true;
+        setup.push_back(id);
+
+        Event ready;
+        ready.time = c.ready_at;
+        ready.type = EventType::PrewarmReady;
+        ready.container = id;
+        events_.push(ready);
+        ++provisioned;
+    }
+    return provisioned;
+}
+
+void
+ClusterState::schedulePrewarm(FunctionId fn, Tier tier, TimeMs start_time,
+                              TimeMs expiry)
+{
+    ICEB_ASSERT(start_time >= now_, "prewarm scheduled in the past");
+    Event event;
+    event.time = start_time;
+    event.type = EventType::PrewarmStart;
+    event.fn = fn;
+    event.tier = tier;
+    event.expiry = expiry;
+    events_.push(event);
+}
+
+MemoryMb
+ClusterState::vacantMemoryMb(Tier tier) const
+{
+    MemoryMb total = 0;
+    for (ServerId sid :
+         tier_servers_[static_cast<std::size_t>(tierIndex(tier))]) {
+        total += servers_[sid].free_mb;
+    }
+    return total;
+}
+
+MemoryMb
+ClusterState::totalMemoryMb(Tier tier) const
+{
+    return config_.spec(tier).totalMemoryMb();
+}
+
+std::size_t
+ClusterState::warmCount(FunctionId fn, Tier tier) const
+{
+    ICEB_ASSERT(fn < pools_.size(), "warmCount for unknown function");
+    const auto t = static_cast<std::size_t>(tierIndex(tier));
+    return pools_[fn].idle[t].size() + pools_[fn].setup[t].size();
+}
+
+std::optional<ClusterState::Acquisition>
+ClusterState::acquireWarm(FunctionId fn, const std::array<Tier, 2> &order)
+{
+    FunctionPools &pools = pools_[fn];
+    for (Tier tier : order) {
+        auto &idle = pools.idle[static_cast<std::size_t>(tierIndex(tier))];
+        if (idle.empty())
+            continue;
+        // LIFO: take the most recently idled container so older ones
+        // drain out through expiry.
+        const ContainerId id = idle.back();
+        idle.pop_back();
+        Container &c = containers_.at(id);
+        ICEB_ASSERT(c.state == ContainerState::IdleWarm,
+                    "idle pool out of sync");
+        metrics_.recordKeepAlive(c.tier, fn, c.memory_mb,
+                                 now_ - c.idle_since, true,
+                                 rateMbMs(c.tier));
+        c.state = ContainerState::Running;
+        c.prewarmed_unused = false;
+        c.last_used = now_;
+        ++c.expiry_token; // cancel any pending expiry
+        return Acquisition{id, c.tier, now_, false};
+    }
+    return std::nullopt;
+}
+
+std::optional<ClusterState::Acquisition>
+ClusterState::acquireSetup(FunctionId fn, const std::array<Tier, 2> &order)
+{
+    FunctionPools &pools = pools_[fn];
+    for (Tier tier : order) {
+        auto &setup =
+            pools.setup[static_cast<std::size_t>(tierIndex(tier))];
+        if (setup.empty())
+            continue;
+        // Pick the container closest to readiness.
+        auto best = setup.begin();
+        for (auto it = setup.begin(); it != setup.end(); ++it) {
+            if (containers_.at(*it).ready_at <
+                containers_.at(*best).ready_at) {
+                best = it;
+            }
+        }
+        const ContainerId id = *best;
+        setup.erase(best);
+        Container &c = containers_.at(id);
+        ICEB_ASSERT(c.state == ContainerState::Setup,
+                    "setup pool out of sync");
+        c.state = ContainerState::Running;
+        c.prewarmed_unused = false;
+        c.last_used = now_;
+        ++c.expiry_token;
+        const bool still_cold = c.ready_at > now_;
+        return Acquisition{id, c.tier, std::max(c.ready_at, now_),
+                           still_cold};
+    }
+    return std::nullopt;
+}
+
+std::optional<ClusterState::Acquisition>
+ClusterState::acquireCold(FunctionId fn, const std::array<Tier, 2> &order,
+                          Policy &policy)
+{
+    const workload::FunctionProfile &profile = profileOf(fn);
+    // First pass: vacant memory only; second pass: allow eviction.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (Tier tier : order) {
+            if (config_.spec(tier).server_count == 0)
+                continue;
+            if (pass == 1 &&
+                !evictToFit(tier, profile.memory_mb, policy)) {
+                continue;
+            }
+            const ServerId server = pickServer(tier, profile.memory_mb);
+            if (server == kInvalidServer)
+                continue;
+            const ContainerId id = createContainer(
+                fn, tier, server, ContainerState::Running);
+            Container &c = containers_.at(id);
+            c.prewarmed_unused = false;
+            return Acquisition{id, tier, c.ready_at, true};
+        }
+    }
+    return std::nullopt;
+}
+
+void
+ClusterState::startExecution(ContainerId id, TimeMs exec_end)
+{
+    Container &c = containers_.at(id);
+    ICEB_ASSERT(c.state == ContainerState::Running,
+                "container not acquired for execution");
+    (void)exec_end; // completion is scheduled by the simulator
+}
+
+void
+ClusterState::finishExecution(ContainerId id, TimeMs keep_alive_ms,
+                              Policy &policy)
+{
+    Container &c = containers_.at(id);
+    ICEB_ASSERT(c.state == ContainerState::Running,
+                "finishExecution on non-running container");
+    if (keep_alive_ms <= 0) {
+        destroyContainer(c, false, &policy);
+        return;
+    }
+    becomeIdle(c, now_ + keep_alive_ms, &policy);
+}
+
+void
+ClusterState::becomeIdle(Container &c, TimeMs expiry, Policy *policy)
+{
+    c.state = ContainerState::IdleWarm;
+    c.idle_since = now_;
+    c.expiry = expiry;
+    scheduleExpiry(c);
+    pools_[c.fn].idle[static_cast<std::size_t>(tierIndex(c.tier))]
+        .push_back(c.id);
+    const double priority = policy
+        ? policy->evictionPriority(c.fn, c.tier, c.last_used, now_)
+        : static_cast<double>(c.last_used);
+    pushEvictEntry(c, priority);
+}
+
+void
+ClusterState::destroyContainer(Container &c, bool wasteful,
+                               Policy *policy)
+{
+    if (c.state == ContainerState::IdleWarm) {
+        removeFromPool(
+            pools_[c.fn].idle[static_cast<std::size_t>(
+                tierIndex(c.tier))],
+            c.id);
+        if (wasteful) {
+            metrics_.recordKeepAlive(c.tier, c.fn, c.memory_mb,
+                                     now_ - c.idle_since, false,
+                                     rateMbMs(c.tier));
+        }
+    } else if (c.state == ContainerState::Setup) {
+        removeFromPool(
+            pools_[c.fn].setup[static_cast<std::size_t>(
+                tierIndex(c.tier))],
+            c.id);
+    }
+    if (wasteful && c.prewarmed_unused && policy)
+        policy->onWarmupWasted(c.fn, c.tier, now_);
+
+    servers_[c.server].free_mb += c.memory_mb;
+    ICEB_ASSERT(servers_[c.server].free_mb <=
+                    servers_[c.server].capacity_mb,
+                "server memory over-freed");
+    ICEB_ASSERT(live_per_fn_[c.fn] > 0, "live count underflow");
+    --live_per_fn_[c.fn];
+    containers_.erase(c.id);
+}
+
+bool
+ClusterState::evictToFit(Tier tier, MemoryMb memory_mb, Policy &policy,
+                         FunctionId exclude_fn)
+{
+    EvictHeap &heap =
+        evict_heaps_[static_cast<std::size_t>(tierIndex(tier))];
+    std::vector<EvictEntry> spared;
+    while (pickServer(tier, memory_mb) == kInvalidServer) {
+        bool evicted = false;
+        while (!heap.empty()) {
+            const EvictEntry entry = heap.top();
+            heap.pop();
+            const auto it = containers_.find(entry.id);
+            if (it == containers_.end() ||
+                it->second.state != ContainerState::IdleWarm ||
+                it->second.expiry_token != entry.token) {
+                continue; // stale heap entry
+            }
+            if (it->second.fn == exclude_fn) {
+                spared.push_back(entry);
+                continue;
+            }
+            Container &victim = it->second;
+            policy.onEviction(victim.fn, victim.tier, now_);
+            destroyContainer(victim, true, &policy);
+            evicted = true;
+            break;
+        }
+        if (!evicted) {
+            for (const EvictEntry &entry : spared)
+                heap.push(entry);
+            return false;
+        }
+    }
+    for (const EvictEntry &entry : spared)
+        heap.push(entry);
+    return true;
+}
+
+void
+ClusterState::handlePrewarmStart(const Event &event, Policy &policy)
+{
+    const workload::FunctionProfile &profile = profileOf(event.fn);
+    // Prefer the requested tier; fall back to the other one, then to
+    // eviction, so a full cluster does not forfeit the warm-up.
+    Tier tier = event.tier;
+    ServerId server = pickServer(tier, profile.memory_mb);
+    if (server == kInvalidServer) {
+        tier = otherTier(tier);
+        server = pickServer(tier, profile.memory_mb);
+    }
+    if (server == kInvalidServer &&
+        evictToFit(event.tier, profile.memory_mb, policy, event.fn)) {
+        tier = event.tier;
+        server = pickServer(tier, profile.memory_mb);
+    }
+    if (server == kInvalidServer) {
+        ++prewarm_failures_;
+        return;
+    }
+    const ContainerId id = createContainer(event.fn, tier, server,
+                                           ContainerState::Setup);
+    Container &c = containers_.at(id);
+    c.expiry = event.expiry;
+    c.prewarmed_unused = true;
+    pools_[event.fn]
+        .setup[static_cast<std::size_t>(tierIndex(tier))]
+        .push_back(id);
+
+    Event ready;
+    ready.time = c.ready_at;
+    ready.type = EventType::PrewarmReady;
+    ready.container = id;
+    events_.push(ready);
+}
+
+void
+ClusterState::handlePrewarmReady(const Event &event, Policy &policy)
+{
+    const auto it = containers_.find(event.container);
+    if (it == containers_.end() ||
+        it->second.state != ContainerState::Setup) {
+        return; // attached or destroyed while in setup
+    }
+    Container &c = it->second;
+    removeFromPool(
+        pools_[c.fn].setup[static_cast<std::size_t>(tierIndex(c.tier))],
+        c.id);
+    if (c.expiry <= now_) {
+        // Keep-alive lapsed during setup; zero-length idle period.
+        c.state = ContainerState::IdleWarm;
+        c.idle_since = now_;
+        pools_[c.fn].idle[static_cast<std::size_t>(tierIndex(c.tier))]
+            .push_back(c.id);
+        destroyContainer(c, true, &policy);
+        return;
+    }
+    c.state = ContainerState::IdleWarm;
+    c.idle_since = now_;
+    scheduleExpiry(c);
+    pools_[c.fn].idle[static_cast<std::size_t>(tierIndex(c.tier))]
+        .push_back(c.id);
+    pushEvictEntry(c, static_cast<double>(c.last_used));
+}
+
+void
+ClusterState::handleContainerExpiry(const Event &event, Policy &policy)
+{
+    const auto it = containers_.find(event.container);
+    if (it == containers_.end() ||
+        it->second.state != ContainerState::IdleWarm ||
+        it->second.expiry_token != event.token) {
+        return; // renewed, in use, or already gone
+    }
+    destroyContainer(it->second, true, &policy);
+}
+
+const Container &
+ClusterState::container(ContainerId id) const
+{
+    const auto it = containers_.find(id);
+    ICEB_ASSERT(it != containers_.end(), "unknown container");
+    return it->second;
+}
+
+} // namespace iceb::sim

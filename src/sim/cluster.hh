@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Live cluster state: servers, containers, warm pools, eviction.
+ *
+ * Containers move through Setup -> IdleWarm -> Running and back to
+ * IdleWarm (or destruction) exactly like OpenWhisk's Docker container
+ * lifecycle the paper builds on. All memory accounting and keep-alive
+ * cost attribution happens here:
+ *
+ *  - an idle-warm period that ends in a warm start is a *successful*
+ *    warm-up cost;
+ *  - an idle-warm period that ends in expiry or eviction is a
+ *    *wasteful* warm-up cost (and memory wastage);
+ *  - setup and execution time occupy memory but are not keep-alive
+ *    cost (so the Oracle's just-in-time scheme is genuinely free, as
+ *    the paper defines it).
+ */
+
+#ifndef ICEB_SIM_CLUSTER_HH
+#define ICEB_SIM_CLUSTER_HH
+
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/cluster_config.hh"
+#include "sim/event_queue.hh"
+#include "sim/metrics.hh"
+#include "sim/policy.hh"
+#include "workload/function_profile.hh"
+
+namespace iceb::sim
+{
+
+/** Lifecycle state of a container. */
+enum class ContainerState : std::uint8_t
+{
+    Setup,    //!< image fetch + container creation (cold-start work)
+    IdleWarm, //!< warm, waiting for an invocation; accrues cost
+    Running,  //!< executing an invocation
+};
+
+/** One container instance. */
+struct Container
+{
+    ContainerId id = 0;
+    FunctionId fn = kInvalidFunction;
+    ServerId server = kInvalidServer;
+    Tier tier = Tier::HighEnd;
+    ContainerState state = ContainerState::Setup;
+    MemoryMb memory_mb = 0;
+
+    TimeMs ready_at = 0;    //!< when setup completes/completed
+    TimeMs idle_since = 0;  //!< start of the current idle period
+    TimeMs expiry = 0;      //!< keep-alive deadline while idle
+    TimeMs last_used = 0;   //!< last execution start (or ready time)
+    std::uint64_t expiry_token = 0; //!< invalidates stale expiry events
+    bool prewarmed_unused = false;  //!< warmed by policy, not yet used
+};
+
+/** One physical server's memory ledger. */
+struct Server
+{
+    ServerId id = kInvalidServer;
+    Tier tier = Tier::HighEnd;
+    MemoryMb capacity_mb = 0;
+    MemoryMb free_mb = 0;
+};
+
+/**
+ * The mutable cluster: implements the policy-facing WarmupInterface
+ * and the simulator-facing placement/lifecycle operations.
+ */
+class ClusterState : public WarmupInterface
+{
+  public:
+    ClusterState(const ClusterConfig &config,
+                 const std::vector<workload::FunctionProfile> &profiles,
+                 EventQueue &events, MetricsCollector &metrics);
+
+    /** Advance the cluster's notion of "now". */
+    void setNow(TimeMs now) { now_ = now; }
+
+    // WarmupInterface
+    TimeMs now() const override { return now_; }
+    std::size_t ensureWarm(FunctionId fn, Tier tier, std::size_t count,
+                           TimeMs expiry) override;
+    std::size_t ensureWarmEvicting(FunctionId fn, Tier tier,
+                                   std::size_t count, TimeMs expiry,
+                                   Policy &policy) override;
+    void schedulePrewarm(FunctionId fn, Tier tier, TimeMs start_time,
+                         TimeMs expiry) override;
+    MemoryMb vacantMemoryMb(Tier tier) const override;
+    MemoryMb totalMemoryMb(Tier tier) const override;
+    std::size_t warmCount(FunctionId fn, Tier tier) const override;
+
+    /** Result of acquiring a container for an invocation. */
+    struct Acquisition
+    {
+        ContainerId id = 0;
+        Tier tier = Tier::HighEnd;
+        TimeMs ready_at = 0; //!< when execution may begin
+        bool cold = false;   //!< counts as a cold start
+    };
+
+    /**
+     * Take an idle-warm container (high tier first per @p order).
+     * Marks it Running and records the successful keep-alive period.
+     */
+    std::optional<Acquisition>
+    acquireWarm(FunctionId fn, const std::array<Tier, 2> &order);
+
+    /**
+     * Attach to an in-setup container (soonest-ready within the tier
+     * order); the invocation pays the remaining setup latency as its
+     * cold-start time.
+     */
+    std::optional<Acquisition>
+    acquireSetup(FunctionId fn, const std::array<Tier, 2> &order);
+
+    /**
+     * Start a fresh cold container, evicting idle containers (in
+     * @p policy's priority order) if needed. Fails only when running
+     * and in-setup containers exhaust the memory of both tiers.
+     */
+    std::optional<Acquisition>
+    acquireCold(FunctionId fn, const std::array<Tier, 2> &order,
+                Policy &policy);
+
+    /** Mark a container as executing until @p exec_end. */
+    void startExecution(ContainerId id, TimeMs exec_end);
+
+    /**
+     * Execution finished: keep the container warm for
+     * @p keep_alive_ms (0 destroys it immediately).
+     */
+    void finishExecution(ContainerId id, TimeMs keep_alive_ms,
+                         Policy &policy);
+
+    /** Event handlers driven by the simulator. */
+    void handlePrewarmStart(const Event &event, Policy &policy);
+    void handlePrewarmReady(const Event &event, Policy &policy);
+    void handleContainerExpiry(const Event &event, Policy &policy);
+
+    /** Container lookup (asserts existence). */
+    const Container &container(ContainerId id) const;
+
+    /** Live container count (all states). */
+    std::size_t liveContainers() const { return containers_.size(); }
+
+    /** Live containers (any state) of one function. */
+    std::uint32_t liveCount(FunctionId fn) const
+    {
+        return live_per_fn_[fn];
+    }
+
+    /** Prewarm requests dropped because no memory was vacant. */
+    std::uint64_t prewarmFailures() const { return prewarm_failures_; }
+
+  private:
+    struct EvictEntry
+    {
+        double priority = 0.0;
+        std::uint64_t seq = 0;
+        ContainerId id = 0;
+        std::uint64_t token = 0;
+
+        bool operator>(const EvictEntry &other) const
+        {
+            if (priority != other.priority)
+                return priority > other.priority;
+            return seq > other.seq;
+        }
+    };
+
+    using EvictHeap = std::priority_queue<EvictEntry,
+                                          std::vector<EvictEntry>,
+                                          std::greater<EvictEntry>>;
+
+    /** Per-function per-tier container-id pools. */
+    struct FunctionPools
+    {
+        std::array<std::vector<ContainerId>, kNumTiers> idle;
+        std::array<std::vector<ContainerId>, kNumTiers> setup;
+    };
+
+    const workload::FunctionProfile &profileOf(FunctionId fn) const;
+    double rateMbMs(Tier tier) const;
+    ServerId pickServer(Tier tier, MemoryMb memory_mb) const;
+    ContainerId createContainer(FunctionId fn, Tier tier, ServerId server,
+                                ContainerState state);
+    void becomeIdle(Container &c, TimeMs expiry, Policy *policy);
+    void destroyContainer(Container &c, bool wasteful, Policy *policy);
+    bool evictToFit(Tier tier, MemoryMb memory_mb, Policy &policy,
+                    FunctionId exclude_fn = kInvalidFunction);
+    std::size_t ensureWarmImpl(FunctionId fn, Tier tier,
+                               std::size_t count, TimeMs expiry,
+                               Policy *evict_with);
+    void removeFromPool(std::vector<ContainerId> &pool, ContainerId id);
+    void scheduleExpiry(Container &c);
+    void pushEvictEntry(const Container &c, double priority);
+
+    const ClusterConfig &config_;
+    const std::vector<workload::FunctionProfile> &profiles_;
+    EventQueue &events_;
+    MetricsCollector &metrics_;
+
+    TimeMs now_ = 0;
+    std::vector<Server> servers_;
+    std::array<std::vector<ServerId>, kNumTiers> tier_servers_;
+    std::array<double, kNumTiers> rate_mb_ms_{0.0, 0.0};
+
+    std::unordered_map<ContainerId, Container> containers_;
+    std::vector<FunctionPools> pools_; //!< indexed by FunctionId
+    std::array<EvictHeap, kNumTiers> evict_heaps_;
+
+    std::vector<std::uint32_t> live_per_fn_;
+    ContainerId next_container_id_ = 1;
+    std::uint64_t next_evict_seq_ = 0;
+    std::uint64_t prewarm_failures_ = 0;
+};
+
+} // namespace iceb::sim
+
+#endif // ICEB_SIM_CLUSTER_HH

@@ -1,0 +1,147 @@
+#include "sim/cluster_config.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace iceb::sim
+{
+
+namespace
+{
+
+constexpr double kHighRate = 0.01475; //!< $/GB/h, AWS m5n-like
+constexpr double kLowRate = 0.0084;   //!< $/GB/h, AWS t4g-like
+constexpr double kHighCapital = 1.75; //!< capital cost ratio vs low-end
+constexpr MemoryMb kHighMemoryMb = 32 * kMbPerGb;
+constexpr MemoryMb kLowMemoryMb = 24 * kMbPerGb;
+constexpr double kBudgetUnits = 35.0; //!< = 20 high-end servers
+
+TierSpec
+highSpec(std::size_t count)
+{
+    TierSpec spec;
+    spec.tier = Tier::HighEnd;
+    spec.server_count = count;
+    spec.memory_per_server_mb = kHighMemoryMb;
+    spec.dollars_per_gb_hour = kHighRate;
+    spec.capital_cost = kHighCapital;
+    return spec;
+}
+
+TierSpec
+lowSpec(std::size_t count)
+{
+    TierSpec spec;
+    spec.tier = Tier::LowEnd;
+    spec.server_count = count;
+    spec.memory_per_server_mb = kLowMemoryMb;
+    spec.dollars_per_gb_hour = kLowRate;
+    spec.capital_cost = 1.0;
+    return spec;
+}
+
+ClusterConfig
+makeCluster(std::string name, std::size_t high, std::size_t low)
+{
+    ClusterConfig config;
+    config.name = std::move(name);
+    config.spec(Tier::HighEnd) = highSpec(high);
+    config.spec(Tier::LowEnd) = lowSpec(low);
+    return config;
+}
+
+} // namespace
+
+double
+ClusterConfig::totalCapitalCost() const
+{
+    double total = 0.0;
+    for (const auto &t : tiers)
+        total += t.capital_cost * static_cast<double>(t.server_count);
+    return total;
+}
+
+MemoryMb
+ClusterConfig::totalMemoryMb() const
+{
+    MemoryMb total = 0;
+    for (const auto &t : tiers)
+        total += t.totalMemoryMb();
+    return total;
+}
+
+std::size_t
+ClusterConfig::totalServers() const
+{
+    std::size_t total = 0;
+    for (const auto &t : tiers)
+        total += t.server_count;
+    return total;
+}
+
+bool
+ClusterConfig::homogeneous() const
+{
+    std::size_t populated = 0;
+    for (const auto &t : tiers)
+        if (t.server_count > 0)
+            ++populated;
+    return populated <= 1;
+}
+
+ClusterConfig
+defaultHeterogeneousCluster()
+{
+    // Equal budget split: 10 high-end = 17.5 units, 18 low-end = 18.
+    return makeCluster("10H+18L (default)", 10, 18);
+}
+
+ClusterConfig
+homogeneousHighEndCluster()
+{
+    return makeCluster("20H+0L (homogeneous high)", 20, 0);
+}
+
+ClusterConfig
+homogeneousLowEndCluster()
+{
+    return makeCluster("0H+35L (homogeneous low)", 0, 35);
+}
+
+std::vector<ClusterConfig>
+budgetConstantSweep()
+{
+    std::vector<ClusterConfig> sweep;
+    for (int high = 20; high >= 0; high -= 2) {
+        const double remaining =
+            kBudgetUnits - kHighCapital * static_cast<double>(high);
+        const auto low = static_cast<std::size_t>(
+            std::llround(std::max(0.0, remaining)));
+        sweep.push_back(makeCluster(
+            std::to_string(high) + "H+" + std::to_string(low) + "L",
+            static_cast<std::size_t>(high), low));
+    }
+    ICEB_ASSERT(sweep.size() == 11, "Fig. 12 sweep must have 11 configs");
+    return sweep;
+}
+
+ClusterConfig
+clusterWithCostRatio(double cost_ratio)
+{
+    ICEB_ASSERT(cost_ratio >= 1.0, "high-end must cost at least low-end");
+    // Re-split the same 35-unit budget equally at the new capital
+    // ratio: high count = budget/2 / ratio, low count = budget/2.
+    const auto high = static_cast<std::size_t>(
+        std::llround(kBudgetUnits / 2.0 / cost_ratio));
+    const auto low = static_cast<std::size_t>(
+        std::llround(kBudgetUnits / 2.0));
+    ClusterConfig config = makeCluster(
+        "ratio-" + std::to_string(cost_ratio), high, low);
+    config.spec(Tier::HighEnd).capital_cost = cost_ratio;
+    config.spec(Tier::HighEnd).dollars_per_gb_hour = kLowRate * cost_ratio;
+    return config;
+}
+
+} // namespace iceb::sim

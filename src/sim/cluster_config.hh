@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Cluster composition and the paper's budget-constant sweeps.
+ *
+ * The paper's default setup splits a fixed capital budget equally
+ * between tiers (10 high-end + 18 low-end servers) and sweeps eleven
+ * compositions from 20 high-end/0 low-end to 0/35 at constant capital
+ * cost (Fig. 12), plus a sensitivity sweep over the high/low cost
+ * ratio (Fig. 13).
+ */
+
+#ifndef ICEB_SIM_CLUSTER_CONFIG_HH
+#define ICEB_SIM_CLUSTER_CONFIG_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace iceb::sim
+{
+
+/** Static description of one server tier. */
+struct TierSpec
+{
+    Tier tier = Tier::HighEnd;
+    std::size_t server_count = 0;
+    MemoryMb memory_per_server_mb = 0;
+
+    /** Keep-alive rate in $/GB/hour (AWS-style quote). */
+    double dollars_per_gb_hour = 0.0;
+
+    /** Relative capital cost of one server (low-end = 1.0). */
+    double capital_cost = 1.0;
+
+    /** Aggregate tier memory. */
+    MemoryMb totalMemoryMb() const
+    {
+        return static_cast<MemoryMb>(server_count) * memory_per_server_mb;
+    }
+};
+
+/** A full cluster composition. */
+struct ClusterConfig
+{
+    std::string name;
+    std::array<TierSpec, kNumTiers> tiers;
+
+    /** Tier spec by tier. */
+    const TierSpec &spec(Tier tier) const
+    {
+        return tiers[static_cast<std::size_t>(tierIndex(tier))];
+    }
+    TierSpec &spec(Tier tier)
+    {
+        return tiers[static_cast<std::size_t>(tierIndex(tier))];
+    }
+
+    /** Total capital cost across tiers (low-end server = 1 unit). */
+    double totalCapitalCost() const;
+
+    /** Total memory across tiers. */
+    MemoryMb totalMemoryMb() const;
+
+    /** Total server count. */
+    std::size_t totalServers() const;
+
+    /** True when only one tier has servers. */
+    bool homogeneous() const;
+};
+
+/**
+ * The paper's default heterogeneous cluster: 10 high-end + 18 low-end
+ * servers, high-end rate $0.01475/GB/h (m5n-like), low-end rate
+ * $0.0084/GB/h (t4g-like), capital cost ratio 1.75x, 32 GB / 24 GB of
+ * memory per server so the low-end tier provides more aggregate
+ * memory per capital dollar.
+ */
+ClusterConfig defaultHeterogeneousCluster();
+
+/** Homogeneous endpoints of the Fig. 12 sweep at equal capital cost. */
+ClusterConfig homogeneousHighEndCluster();
+ClusterConfig homogeneousLowEndCluster();
+
+/**
+ * The Fig. 12 sweep: eleven compositions from 20/0 to 0/35 high/low
+ * servers at (approximately, due to integer server counts) constant
+ * capital cost.
+ */
+std::vector<ClusterConfig> budgetConstantSweep();
+
+/**
+ * A default-shaped cluster with the high-end keep-alive rate scaled
+ * to the given cost ratio over low-end (Fig. 13; paper sweeps
+ * ~1.23x - 2.4x). Capital cost ratio follows the rate ratio and server
+ * counts are rebalanced to keep the equal-budget split.
+ */
+ClusterConfig clusterWithCostRatio(double cost_ratio);
+
+} // namespace iceb::sim
+
+#endif // ICEB_SIM_CLUSTER_CONFIG_HH

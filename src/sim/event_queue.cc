@@ -1,0 +1,31 @@
+#include "sim/event_queue.hh"
+
+namespace iceb::sim
+{
+
+void
+EventQueue::push(Event event)
+{
+    event.seq = next_seq_++;
+    heap_.push(event);
+}
+
+std::optional<Event>
+EventQueue::pop()
+{
+    if (heap_.empty())
+        return std::nullopt;
+    Event event = heap_.top();
+    heap_.pop();
+    return event;
+}
+
+std::optional<TimeMs>
+EventQueue::peekTime() const
+{
+    if (heap_.empty())
+        return std::nullopt;
+    return heap_.top().time;
+}
+
+} // namespace iceb::sim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Discrete-event queue for the cluster simulator.
+ *
+ * A binary min-heap keyed on (time, sequence) so simultaneous events
+ * process in insertion order, which keeps runs deterministic.
+ */
+
+#ifndef ICEB_SIM_EVENT_QUEUE_HH
+#define ICEB_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace iceb::sim
+{
+
+/** Kind of simulation event. */
+enum class EventType : std::uint8_t
+{
+    InvocationArrival, //!< a function request arrives
+    IntervalTick,      //!< decision-interval boundary
+    PrewarmStart,      //!< a scheduled (Oracle-style) warm-up begins
+    PrewarmReady,      //!< container finished setup, becomes idle-warm
+    ExecutionComplete, //!< a running invocation finished
+    ContainerExpiry,   //!< keep-alive deadline for an idle container
+};
+
+/** One simulation event. Fields beyond the key are type-dependent. */
+struct Event
+{
+    TimeMs time = 0;
+    std::uint64_t seq = 0; //!< tie-break for determinism
+    EventType type = EventType::IntervalTick;
+
+    FunctionId fn = kInvalidFunction;      //!< arrival / prewarm
+    ContainerId container = 0;             //!< container events
+    IntervalIndex interval = 0;            //!< IntervalTick
+    std::uint64_t token = 0;               //!< expiry invalidation
+    Tier tier = Tier::HighEnd;             //!< PrewarmStart
+    TimeMs expiry = 0;                     //!< PrewarmStart keep-alive
+};
+
+/**
+ * Deterministic priority queue of events.
+ */
+class EventQueue
+{
+  public:
+    /** Schedule an event; its seq is assigned here. */
+    void push(Event event);
+
+    /** Pop the earliest event, or nullopt when drained. */
+    std::optional<Event> pop();
+
+    /** Earliest pending time without popping. */
+    std::optional<TimeMs> peekTime() const;
+
+    /** Pending event count. */
+    std::size_t size() const { return heap_.size(); }
+
+    bool empty() const { return heap_.empty(); }
+
+  private:
+    struct Later
+    {
+        bool operator()(const Event &a, const Event &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace iceb::sim
+
+#endif // ICEB_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,92 @@
+#include "sim/metrics.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace iceb::sim
+{
+
+MetricsCollector::MetricsCollector(std::size_t num_functions)
+{
+    metrics_.per_function.resize(num_functions);
+}
+
+void
+MetricsCollector::recordInvocation(const InvocationOutcome &outcome)
+{
+    ICEB_ASSERT(outcome.fn < metrics_.per_function.size(),
+                "invocation for unknown function");
+    ++metrics_.invocations;
+    if (outcome.cold)
+        ++metrics_.cold_starts;
+    else
+        ++metrics_.warm_starts;
+
+    const double service = static_cast<double>(outcome.serviceMs());
+    metrics_.sum_service_ms += service;
+    metrics_.sum_wait_ms += static_cast<double>(outcome.wait_ms);
+    metrics_.sum_cold_ms += static_cast<double>(outcome.cold_start_ms);
+    metrics_.sum_exec_ms += static_cast<double>(outcome.exec_ms);
+    metrics_.sum_overhead_ms += static_cast<double>(outcome.overhead_ms);
+
+    metrics_.service_times_ms.push_back(static_cast<float>(service));
+    if (outcome.tier == Tier::HighEnd)
+        metrics_.service_times_high_ms.push_back(
+            static_cast<float>(service));
+    else
+        metrics_.service_times_low_ms.push_back(
+            static_cast<float>(service));
+
+    FunctionMetrics &fm = metrics_.per_function[outcome.fn];
+    ++fm.invocations;
+    if (outcome.cold)
+        ++fm.cold_starts;
+    else
+        ++fm.warm_starts;
+    fm.sum_service_ms += service;
+    fm.sum_wait_ms += static_cast<double>(outcome.wait_ms);
+    fm.sum_cold_ms += static_cast<double>(outcome.cold_start_ms);
+    fm.sum_exec_ms += static_cast<double>(outcome.exec_ms);
+}
+
+void
+MetricsCollector::recordColdCause(bool setup_attach,
+                                  bool had_live_containers)
+{
+    if (setup_attach)
+        ++metrics_.cold_setup_attach;
+    else if (had_live_containers)
+        ++metrics_.cold_all_busy;
+    else
+        ++metrics_.cold_no_container;
+}
+
+void
+MetricsCollector::recordKeepAlive(Tier tier, FunctionId fn,
+                                  MemoryMb memory_mb, TimeMs idle_ms,
+                                  bool successful, double rate_mb_ms)
+{
+    if (idle_ms <= 0)
+        return;
+    ICEB_ASSERT(fn < metrics_.per_function.size(),
+                "keep-alive for unknown function");
+    const Dollars cost = keepAliveCost(memory_mb, idle_ms, rate_mb_ms);
+    TierKeepAlive &ka =
+        metrics_.keep_alive[static_cast<std::size_t>(tierIndex(tier))];
+    if (successful) {
+        ka.successful_cost += cost;
+    } else {
+        ka.wasteful_cost += cost;
+        ka.wasted_mb_ms += static_cast<double>(memory_mb) *
+            static_cast<double>(idle_ms);
+    }
+    metrics_.per_function[fn].keep_alive_cost += cost;
+}
+
+SimulationMetrics
+MetricsCollector::take()
+{
+    return std::move(metrics_);
+}
+
+} // namespace iceb::sim

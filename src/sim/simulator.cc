@@ -1,0 +1,237 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace iceb::sim
+{
+
+Simulator::Simulator(
+    const trace::Trace &tr,
+    const std::vector<workload::FunctionProfile> &profiles,
+    const ClusterConfig &config, Policy &policy, SimulatorOptions options)
+    : trace_(tr), profiles_(profiles), config_(config), policy_(policy),
+      options_(options), metrics_(tr.numFunctions()),
+      cluster_(config, profiles, events_, metrics_)
+{
+    ICEB_ASSERT(profiles_.size() == trace_.numFunctions(),
+                "one profile per trace function required");
+    ICEB_ASSERT(config_.totalServers() > 0, "cluster has no servers");
+
+    buildArrivalSchedule();
+
+    context_.trace = &trace_;
+    context_.profiles = &profiles_;
+    context_.cluster = &config_;
+    context_.interval_ms = trace_.intervalMs();
+    context_.arrival_schedule = &arrival_schedule_;
+}
+
+void
+Simulator::buildArrivalSchedule()
+{
+    Rng master(options_.seed);
+    const TimeMs interval_ms = trace_.intervalMs();
+    arrival_schedule_.resize(trace_.numFunctions());
+    arrival_cursor_.assign(trace_.numFunctions(), 0);
+
+    for (FunctionId fn = 0; fn < trace_.numFunctions(); ++fn) {
+        Rng rng = master.fork(fn);
+        const auto &series = trace_.function(fn);
+        auto &schedule = arrival_schedule_[fn];
+        schedule.reserve(series.totalInvocations());
+        for (std::size_t iv = 0; iv < series.concurrency.size(); ++iv) {
+            const std::uint32_t count = series.concurrency[iv];
+            if (count == 0)
+                continue;
+            // An interval's invocations form one burst: concurrent
+            // requests land within a few seconds of each other (so
+            // they genuinely need that many instances), at a jittered
+            // offset inside the interval.
+            const TimeMs base =
+                static_cast<TimeMs>(iv) * interval_ms;
+            const TimeMs span =
+                std::min<TimeMs>(5000, interval_ms - 1);
+            const TimeMs offset = static_cast<TimeMs>(
+                rng.uniformInt(0, interval_ms - 1 - span));
+            std::vector<TimeMs> times;
+            times.reserve(count);
+            for (std::uint32_t i = 0; i < count; ++i) {
+                times.push_back(base + offset +
+                                static_cast<TimeMs>(
+                                    rng.uniformInt(0, span)));
+            }
+            std::sort(times.begin(), times.end());
+            schedule.insert(schedule.end(), times.begin(), times.end());
+        }
+    }
+}
+
+void
+Simulator::pushIntervalArrivals(IntervalIndex interval)
+{
+    const TimeMs interval_end =
+        (static_cast<TimeMs>(interval) + 1) * trace_.intervalMs();
+    for (FunctionId fn = 0; fn < trace_.numFunctions(); ++fn) {
+        const auto &schedule = arrival_schedule_[fn];
+        std::size_t &cursor = arrival_cursor_[fn];
+        while (cursor < schedule.size() &&
+               schedule[cursor] < interval_end) {
+            Event event;
+            event.time = schedule[cursor];
+            event.type = EventType::InvocationArrival;
+            event.fn = fn;
+            events_.push(event);
+            ++cursor;
+        }
+    }
+}
+
+SimulationMetrics
+Simulator::run()
+{
+    policy_.initialize(context_);
+
+    // Interval ticks are scheduled up front so, at equal timestamps,
+    // they process before that interval's arrivals (lower sequence
+    // numbers win).
+    for (std::size_t iv = 0; iv < trace_.numIntervals(); ++iv) {
+        Event tick;
+        tick.time = static_cast<TimeMs>(iv) * trace_.intervalMs();
+        tick.type = EventType::IntervalTick;
+        tick.interval = static_cast<IntervalIndex>(iv);
+        events_.push(tick);
+    }
+
+    while (auto event = events_.pop()) {
+        now_ = event->time;
+        cluster_.setNow(now_);
+        switch (event->type) {
+          case EventType::IntervalTick:
+            policy_.onIntervalStart(event->interval, cluster_);
+            pushIntervalArrivals(event->interval);
+            break;
+          case EventType::InvocationArrival:
+            handleArrival(event->fn, event->time);
+            break;
+          case EventType::PrewarmStart:
+            cluster_.handlePrewarmStart(*event, policy_);
+            break;
+          case EventType::PrewarmReady:
+            cluster_.handlePrewarmReady(*event, policy_);
+            drainQueue();
+            break;
+          case EventType::ExecutionComplete: {
+            const Container &c = cluster_.container(event->container);
+            const TimeMs keep_alive = policy_.keepAliveAfterExecutionMs(
+                c.fn, c.tier, now_);
+            cluster_.finishExecution(event->container, keep_alive,
+                                     policy_);
+            drainQueue();
+            break;
+          }
+          case EventType::ContainerExpiry:
+            cluster_.handleContainerExpiry(*event, policy_);
+            drainQueue();
+            break;
+        }
+    }
+
+    if (!wait_queue_.empty()) {
+        warn("simulation ended with ", wait_queue_.size(),
+             " invocations still queued (cluster too small for trace)");
+    }
+    return metrics_.take();
+}
+
+void
+Simulator::handleArrival(FunctionId fn, TimeMs arrival)
+{
+    if (!wait_queue_.empty()) {
+        // Preserve FIFO order behind already-waiting invocations.
+        wait_queue_.push_back(QueuedInvocation{fn, arrival});
+        return;
+    }
+    if (!tryPlace(fn, arrival))
+        wait_queue_.push_back(QueuedInvocation{fn, arrival});
+}
+
+bool
+Simulator::tryPlace(FunctionId fn, TimeMs arrival)
+{
+    const std::array<Tier, 2> order = policy_.coldPlacementOrder(fn);
+
+    if (auto acq = cluster_.acquireWarm(fn, order)) {
+        startExecution(*acq, fn, arrival);
+        return true;
+    }
+    if (auto acq = cluster_.acquireSetup(fn, order)) {
+        if (acq->cold)
+            metrics_.recordColdCause(true, true);
+        startExecution(*acq, fn, arrival);
+        return true;
+    }
+    const bool had_live = cluster_.liveCount(fn) > 0;
+    if (auto acq = cluster_.acquireCold(fn, order, policy_)) {
+        metrics_.recordColdCause(false, had_live);
+        startExecution(*acq, fn, arrival);
+        return true;
+    }
+    return false;
+}
+
+void
+Simulator::startExecution(const ClusterState::Acquisition &acq,
+                          FunctionId fn, TimeMs arrival)
+{
+    const workload::FunctionProfile &profile = profiles_[fn];
+    const TimeMs exec_ms = profile.execMs(acq.tier);
+    const TimeMs exec_start = acq.ready_at;
+    const TimeMs exec_end = exec_start + exec_ms;
+
+    cluster_.startExecution(acq.id, exec_end);
+    policy_.onExecutionStart(fn, acq.tier, acq.cold, now_);
+
+    Event done;
+    done.time = exec_end;
+    done.type = EventType::ExecutionComplete;
+    done.container = acq.id;
+    done.fn = fn;
+    events_.push(done);
+
+    InvocationOutcome outcome;
+    outcome.fn = fn;
+    outcome.tier = acq.tier;
+    outcome.cold = acq.cold;
+    outcome.arrival = arrival;
+    outcome.wait_ms = now_ - arrival;
+    outcome.cold_start_ms = acq.cold ? exec_start - now_ : 0;
+    outcome.exec_ms = exec_ms;
+    outcome.overhead_ms = policy_.overheadMs();
+    metrics_.recordInvocation(outcome);
+}
+
+void
+Simulator::drainQueue()
+{
+    while (!wait_queue_.empty()) {
+        const QueuedInvocation head = wait_queue_.front();
+        if (!tryPlace(head.fn, head.arrival))
+            break;
+        wait_queue_.pop_front();
+    }
+}
+
+SimulationMetrics
+runSimulation(const trace::Trace &tr,
+              const std::vector<workload::FunctionProfile> &profiles,
+              const ClusterConfig &config, Policy &policy,
+              SimulatorOptions options)
+{
+    Simulator sim(tr, profiles, config, policy, options);
+    return sim.run();
+}
+
+} // namespace iceb::sim

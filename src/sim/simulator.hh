@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The discrete-event serverless cluster simulator.
+ *
+ * Drives a trace through a cluster under a policy: materialises each
+ * interval's invocations at deterministic jittered timestamps, fires
+ * the policy's interval hook at every decision boundary, places
+ * invocations (warm pool, in-setup attach, cold start, or FIFO wait
+ * queue), and produces the full SimulationMetrics.
+ */
+
+#ifndef ICEB_SIM_SIMULATOR_HH
+#define ICEB_SIM_SIMULATOR_HH
+
+#include <deque>
+#include <memory>
+
+#include "sim/cluster.hh"
+#include "sim/event_queue.hh"
+#include "sim/metrics.hh"
+#include "sim/policy.hh"
+#include "trace/trace.hh"
+#include "workload/function_profile.hh"
+
+namespace iceb::sim
+{
+
+/** Run-level options. */
+struct SimulatorOptions
+{
+    /** Seed for the deterministic within-interval arrival jitter. */
+    std::uint64_t seed = 0x51AB'1CEBull;
+};
+
+/**
+ * One simulation run binding (trace, profiles, cluster, policy).
+ */
+class Simulator
+{
+  public:
+    /**
+     * @param tr        The invocation trace to replay.
+     * @param profiles  Per-function profiles, indexed by FunctionId.
+     * @param config    Cluster composition.
+     * @param policy    The warm-up/keep-alive scheme under test.
+     */
+    Simulator(const trace::Trace &tr,
+              const std::vector<workload::FunctionProfile> &profiles,
+              const ClusterConfig &config, Policy &policy,
+              SimulatorOptions options = {});
+
+    /** Execute the whole trace and return the collected metrics. */
+    SimulationMetrics run();
+
+  private:
+    struct QueuedInvocation
+    {
+        FunctionId fn = kInvalidFunction;
+        TimeMs arrival = 0;
+    };
+
+    void buildArrivalSchedule();
+    void pushIntervalArrivals(IntervalIndex interval);
+    void handleArrival(FunctionId fn, TimeMs arrival);
+    bool tryPlace(FunctionId fn, TimeMs arrival);
+    void startExecution(const ClusterState::Acquisition &acq,
+                        FunctionId fn, TimeMs arrival);
+    void drainQueue();
+
+    const trace::Trace &trace_;
+    const std::vector<workload::FunctionProfile> &profiles_;
+    const ClusterConfig &config_;
+    Policy &policy_;
+    SimulatorOptions options_;
+
+    EventQueue events_;
+    MetricsCollector metrics_;
+    ClusterState cluster_;
+    SimContext context_;
+
+    /** Exact arrival times per function (sorted); Oracle's input. */
+    std::vector<std::vector<TimeMs>> arrival_schedule_;
+    /** Per-function cursor into arrival_schedule_. */
+    std::vector<std::size_t> arrival_cursor_;
+
+    std::deque<QueuedInvocation> wait_queue_;
+    TimeMs now_ = 0;
+};
+
+/**
+ * Convenience one-shot runner used by tests, examples and benches.
+ */
+SimulationMetrics
+runSimulation(const trace::Trace &tr,
+              const std::vector<workload::FunctionProfile> &profiles,
+              const ClusterConfig &config, Policy &policy,
+              SimulatorOptions options = {});
+
+} // namespace iceb::sim
+
+#endif // ICEB_SIM_SIMULATOR_HH

@@ -1,0 +1,105 @@
+#include "trace/azure_loader.hh"
+
+#include <fstream>
+#include <memory>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace iceb::trace
+{
+
+Trace
+loadAzureCsv(std::istream &in, const AzureLoadOptions &options)
+{
+    CsvReader reader(in);
+
+    if (options.has_header) {
+        if (!reader.nextRow())
+            fatal("Azure CSV is empty");
+    }
+
+    std::unique_ptr<Trace> trace;
+    std::size_t minute_columns = 0;
+
+    while (auto row = reader.nextRow()) {
+        if (row->size() <= options.metadata_columns) {
+            fatal("Azure CSV row ", reader.rowsRead(),
+                  " has no invocation columns");
+        }
+        const std::size_t counts = row->size() - options.metadata_columns;
+        if (!trace) {
+            minute_columns = counts;
+            trace = std::make_unique<Trace>(minute_columns, kMsPerMinute);
+        } else if (counts != minute_columns) {
+            fatal("Azure CSV row ", reader.rowsRead(), " has ", counts,
+                  " minute columns, expected ", minute_columns);
+        }
+
+        FunctionSeries series;
+        series.name = options.metadata_columns > 0 ? (*row)[0]
+                                                   : std::string("fn");
+        series.memory_mb = options.default_memory_mb;
+        series.avg_exec_ms = options.default_exec_ms;
+        // Optional numeric metadata: col 1 = memory MB, col 2 = avg
+        // execution ms (the layout writeAzureCsv produces).
+        if (options.metadata_columns >= 2 && !(*row)[1].empty()) {
+            series.memory_mb =
+                csvToInt((*row)[1], "Azure CSV memory column");
+        }
+        if (options.metadata_columns >= 3 && !(*row)[2].empty()) {
+            series.avg_exec_ms =
+                csvToInt((*row)[2], "Azure CSV exec-time column");
+        }
+
+        series.concurrency.reserve(minute_columns);
+        for (std::size_t i = 0; i < minute_columns; ++i) {
+            const std::int64_t count = csvToInt(
+                (*row)[options.metadata_columns + i],
+                "Azure CSV invocation count");
+            if (count < 0)
+                fatal("negative invocation count in Azure CSV");
+            series.concurrency.push_back(
+                static_cast<std::uint32_t>(count));
+        }
+        trace->addFunction(std::move(series));
+        if (options.max_functions > 0 &&
+            trace->numFunctions() >= options.max_functions) {
+            break;
+        }
+    }
+
+    if (!trace)
+        fatal("Azure CSV contained no data rows");
+    return std::move(*trace);
+}
+
+Trace
+loadAzureCsvFile(const std::string &path, const AzureLoadOptions &options)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open Azure trace file '", path, "'");
+    return loadAzureCsv(in, options);
+}
+
+void
+writeAzureCsv(std::ostream &out, const Trace &trace)
+{
+    CsvWriter writer(out);
+    CsvRow header = {"name", "memory_mb", "avg_exec_ms"};
+    for (std::size_t i = 1; i <= trace.numIntervals(); ++i)
+        header.push_back("m" + std::to_string(i));
+    writer.writeRow(header);
+
+    for (const auto &fn : trace.functions()) {
+        CsvRow row = {fn.name, std::to_string(fn.memory_mb),
+                      std::to_string(fn.avg_exec_ms)};
+        for (std::uint32_t count : fn.concurrency)
+            row.push_back(std::to_string(count));
+        writer.writeRow(row);
+    }
+}
+
+} // namespace iceb::trace

@@ -1,0 +1,106 @@
+#include "trace/trace.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace iceb::trace
+{
+
+const char *
+functionClassName(FunctionClass cls)
+{
+    switch (cls) {
+      case FunctionClass::Unknown:
+        return "unknown";
+      case FunctionClass::Periodic:
+        return "periodic";
+      case FunctionClass::MultiHarmonic:
+        return "multi-harmonic";
+      case FunctionClass::PeriodShift:
+        return "period-shift";
+      case FunctionClass::Spiky:
+        return "spiky";
+      case FunctionClass::Infrequent:
+        return "infrequent";
+      case FunctionClass::Random:
+        return "random";
+    }
+    return "invalid";
+}
+
+std::uint64_t
+FunctionSeries::totalInvocations() const
+{
+    return std::accumulate(concurrency.begin(), concurrency.end(),
+                           std::uint64_t{0});
+}
+
+std::size_t
+FunctionSeries::activeIntervals() const
+{
+    std::size_t count = 0;
+    for (std::uint32_t c : concurrency)
+        if (c > 0)
+            ++count;
+    return count;
+}
+
+std::uint32_t
+FunctionSeries::at(IntervalIndex interval) const
+{
+    if (interval < 0 ||
+        static_cast<std::size_t>(interval) >= concurrency.size()) {
+        return 0;
+    }
+    return concurrency[static_cast<std::size_t>(interval)];
+}
+
+Trace::Trace(std::size_t num_intervals, TimeMs interval_ms)
+    : num_intervals_(num_intervals), interval_ms_(interval_ms)
+{
+    ICEB_ASSERT(num_intervals > 0, "trace needs at least one interval");
+    ICEB_ASSERT(interval_ms > 0, "interval width must be positive");
+}
+
+FunctionId
+Trace::addFunction(FunctionSeries series)
+{
+    ICEB_ASSERT(series.concurrency.size() == num_intervals_,
+                "series length must match the trace horizon");
+    const FunctionId id = static_cast<FunctionId>(functions_.size());
+    series.id = id;
+    functions_.push_back(std::move(series));
+    return id;
+}
+
+TimeMs
+Trace::horizonMs() const
+{
+    return static_cast<TimeMs>(num_intervals_) * interval_ms_;
+}
+
+const FunctionSeries &
+Trace::function(FunctionId id) const
+{
+    ICEB_ASSERT(id < functions_.size(), "function id out of range");
+    return functions_[id];
+}
+
+FunctionSeries &
+Trace::function(FunctionId id)
+{
+    ICEB_ASSERT(id < functions_.size(), "function id out of range");
+    return functions_[id];
+}
+
+std::uint64_t
+Trace::totalInvocations() const
+{
+    std::uint64_t total = 0;
+    for (const auto &fn : functions_)
+        total += fn.totalInvocations();
+    return total;
+}
+
+} // namespace iceb::trace

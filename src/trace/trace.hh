@@ -1,0 +1,118 @@
+/**
+ * @file
+ * In-memory representation of a serverless invocation trace.
+ *
+ * Mirrors the Microsoft Azure Functions trace schema the paper uses:
+ * per function, a count of invocations (the "invocation concurrency")
+ * for every fixed-width interval (one minute), plus the per-function
+ * memory allocation and average execution time that the paper's
+ * profile matcher consumes.
+ */
+
+#ifndef ICEB_TRACE_TRACE_HH
+#define ICEB_TRACE_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace iceb::trace
+{
+
+/**
+ * Behavioural class a synthetic function was generated from. Loaded
+ * traces mark functions Unknown; the classes let benches build the
+ * paper's cohorts (infrequent, hard-to-predict, spiky) exactly.
+ */
+enum class FunctionClass : std::uint8_t
+{
+    Unknown = 0,
+    Periodic,      //!< single dominant harmonic
+    MultiHarmonic, //!< 2-10 harmonics (Fig. 5a)
+    PeriodShift,   //!< periodicity changes mid-trace (Fig. 4)
+    Spiky,         //!< sporadic concurrency spikes
+    Infrequent,    //!< ~once per day
+    Random,        //!< hard-to-predict Poisson arrivals
+};
+
+/** Human-readable class name. */
+const char *functionClassName(FunctionClass cls);
+
+/**
+ * One function's invocation series plus the trace-supplied resource
+ * hints used to match it to a benchmark profile.
+ */
+struct FunctionSeries
+{
+    FunctionId id = kInvalidFunction;
+    std::string name;
+    FunctionClass cls = FunctionClass::Unknown;
+
+    /** Invocation concurrency per interval (index = interval). */
+    std::vector<std::uint32_t> concurrency;
+
+    /** Memory the trace says the function was allocated. */
+    MemoryMb memory_mb = 0;
+
+    /** Average execution duration the trace reports. */
+    TimeMs avg_exec_ms = 0;
+
+    /** Total invocations across the whole trace. */
+    std::uint64_t totalInvocations() const;
+
+    /** Number of intervals with at least one invocation. */
+    std::size_t activeIntervals() const;
+
+    /** Concurrency at an interval (0 beyond the end). */
+    std::uint32_t at(IntervalIndex interval) const;
+};
+
+/**
+ * A complete trace: every function series over a common horizon.
+ */
+class Trace
+{
+  public:
+    /** Construct an empty trace with the given geometry. */
+    Trace(std::size_t num_intervals, TimeMs interval_ms);
+
+    /** Append a function; assigns its dense id. Returns the id. */
+    FunctionId addFunction(FunctionSeries series);
+
+    /** Number of functions. */
+    std::size_t numFunctions() const { return functions_.size(); }
+
+    /** Number of intervals in the horizon. */
+    std::size_t numIntervals() const { return num_intervals_; }
+
+    /** Width of one interval in milliseconds. */
+    TimeMs intervalMs() const { return interval_ms_; }
+
+    /** Total simulated duration. */
+    TimeMs horizonMs() const;
+
+    /** Function by id. */
+    const FunctionSeries &function(FunctionId id) const;
+
+    /** Mutable function by id (used by loaders to backfill hints). */
+    FunctionSeries &function(FunctionId id);
+
+    /** All functions. */
+    const std::vector<FunctionSeries> &functions() const
+    {
+        return functions_;
+    }
+
+    /** Total invocations across all functions. */
+    std::uint64_t totalInvocations() const;
+
+  private:
+    std::size_t num_intervals_;
+    TimeMs interval_ms_;
+    std::vector<FunctionSeries> functions_;
+};
+
+} // namespace iceb::trace
+
+#endif // ICEB_TRACE_TRACE_HH

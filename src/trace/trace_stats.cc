@@ -1,0 +1,85 @@
+#include "trace/trace_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/harmonics.hh"
+#include "math/polyfit.hh"
+
+namespace iceb::trace
+{
+
+TraceCharacter
+characterizeTrace(const Trace &trace, double harmonic_threshold,
+                  double periodicity_threshold)
+{
+    TraceCharacter out;
+    out.functions.reserve(trace.numFunctions());
+
+    std::size_t periodic = 0;
+    std::size_t multi = 0;
+    std::size_t under_ten = 0;
+    std::vector<double> harmonic_counts;
+    harmonic_counts.reserve(trace.numFunctions());
+
+    for (const auto &fn : trace.functions()) {
+        FunctionCharacter ch;
+        ch.id = fn.id;
+        ch.invocations = fn.totalInvocations();
+
+        std::vector<double> series(fn.concurrency.begin(),
+                                   fn.concurrency.end());
+        ch.mean_concurrency = math::mean(series);
+        ch.max_concurrency = math::maxValue(series);
+
+        // Detrend before the spectral census so a strong slope does
+        // not masquerade as a long-period harmonic.
+        const math::Polynomial trend = math::polyfitSeries(series, 2);
+        const std::vector<double> residual = math::detrend(series, trend);
+
+        ch.harmonics = math::countSignificantHarmonics(
+            residual, harmonic_threshold);
+        ch.dominant_period = math::dominantPeriod(residual);
+
+        const double sd = math::stddev(residual);
+        const auto top = math::decompose(residual, 1);
+        const double top_amp = top.empty() ? 0.0 : top.front().amplitude;
+        ch.periodic = ch.invocations > 0 && sd > 1e-9 &&
+            top_amp >= periodicity_threshold * sd;
+
+        if (ch.periodic)
+            ++periodic;
+        if (ch.harmonics >= 2)
+            ++multi;
+        if (ch.harmonics < 10)
+            ++under_ten;
+        harmonic_counts.push_back(static_cast<double>(ch.harmonics));
+        out.functions.push_back(ch);
+    }
+
+    const double n = std::max<std::size_t>(1, trace.numFunctions());
+    out.fraction_periodic = static_cast<double>(periodic) / n;
+    out.fraction_multi_harmonic = static_cast<double>(multi) / n;
+    out.fraction_under_ten = static_cast<double>(under_ten) / n;
+    out.harmonic_cdf = math::buildCdf(std::move(harmonic_counts));
+    return out;
+}
+
+std::vector<double>
+interArrivalIntervals(const FunctionSeries &series)
+{
+    std::vector<double> gaps;
+    std::ptrdiff_t last = -1;
+    for (std::size_t t = 0; t < series.concurrency.size(); ++t) {
+        if (series.concurrency[t] == 0)
+            continue;
+        if (last >= 0) {
+            gaps.push_back(static_cast<double>(
+                static_cast<std::ptrdiff_t>(t) - last));
+        }
+        last = static_cast<std::ptrdiff_t>(t);
+    }
+    return gaps;
+}
+
+} // namespace iceb::trace

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Trace characterisation used by the paper's motivation figures:
+ * periodicity census (Fig. 4a: ~98% of functions periodic) and the
+ * harmonic-count distribution (Fig. 5b).
+ */
+
+#ifndef ICEB_TRACE_TRACE_STATS_HH
+#define ICEB_TRACE_TRACE_STATS_HH
+
+#include <vector>
+
+#include "math/stats.hh"
+#include "trace/trace.hh"
+
+namespace iceb::trace
+{
+
+/** Per-function characterisation record. */
+struct FunctionCharacter
+{
+    FunctionId id = kInvalidFunction;
+    std::uint64_t invocations = 0;
+    std::size_t harmonics = 0;     //!< significant spectral peaks
+    double dominant_period = 0.0;  //!< intervals; 0 when aperiodic
+    bool periodic = false;         //!< has a meaningful dominant peak
+    double mean_concurrency = 0.0;
+    double max_concurrency = 0.0;
+};
+
+/** Whole-trace characterisation summary. */
+struct TraceCharacter
+{
+    std::vector<FunctionCharacter> functions;
+    double fraction_periodic = 0.0;       //!< paper: ~0.98
+    double fraction_multi_harmonic = 0.0; //!< paper: ~0.25
+    double fraction_under_ten = 0.0;      //!< paper: ~0.98
+    math::Cdf harmonic_cdf;               //!< Fig. 5(b)
+};
+
+/**
+ * Characterise every function in a trace. A function counts as
+ * periodic when its dominant harmonic's amplitude exceeds
+ * @p periodicity_threshold of the series' standard deviation and it
+ * has invocations at all.
+ */
+TraceCharacter characterizeTrace(const Trace &trace,
+                                 double harmonic_threshold = 0.4,
+                                 double periodicity_threshold = 0.3);
+
+/**
+ * Per-function inter-arrival times in intervals (gaps between
+ * non-zero concurrency slots); used by histogram predictors and the
+ * Fig. 2 keep-alive sweep.
+ */
+std::vector<double> interArrivalIntervals(const FunctionSeries &series);
+
+} // namespace iceb::trace
+
+#endif // ICEB_TRACE_TRACE_STATS_HH

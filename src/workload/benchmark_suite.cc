@@ -1,0 +1,165 @@
+#include "workload/benchmark_suite.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace iceb::workload
+{
+
+namespace
+{
+
+/**
+ * Build a profile from seconds-denominated measurements in the order
+ * the paper's Table 1 lists them: low-end CST/ET, high-end CST/ET.
+ */
+FunctionProfile
+makeProfile(std::string name, MemoryMb memory_mb, double cst_low_s,
+            double et_low_s, double cst_high_s, double et_high_s)
+{
+    FunctionProfile p;
+    p.name = std::move(name);
+    p.memory_mb = memory_mb;
+    p.cold_start_ms[tierIndex(Tier::LowEnd)] = secondsToMs(cst_low_s);
+    p.exec_ms[tierIndex(Tier::LowEnd)] = secondsToMs(et_low_s);
+    p.cold_start_ms[tierIndex(Tier::HighEnd)] = secondsToMs(cst_high_s);
+    p.exec_ms[tierIndex(Tier::HighEnd)] = secondsToMs(et_high_s);
+    return p;
+}
+
+} // namespace
+
+FunctionProfile
+table1FunctionA()
+{
+    // Paper Table 1, F_A: warm-on-low beats cold-on-high (metric = yes).
+    return makeProfile("serverlessbench/F_A", 512, 2.63, 3.13, 2.09, 2.75);
+}
+
+FunctionProfile
+table1FunctionB()
+{
+    // Paper Table 1, F_B: high-end much faster (metric = no).
+    return makeProfile("serverlessbench/F_B", 256, 1.20, 3.01, 0.66, 0.77);
+}
+
+FunctionProfile
+table1FunctionC()
+{
+    // Paper Table 1, F_C: warm-on-low beats cold-on-high (metric = yes).
+    return makeProfile("serverlessbench/F_C", 384, 1.11, 2.09, 0.81, 1.62);
+}
+
+FunctionProfile
+statelessCostProfile()
+{
+    // StatelessCost: cold start comparable to execution time and a
+    // modest tier slowdown, the regime where warm starts matter most
+    // (drives Fig. 2: a warm start on the low-end tier clearly beats
+    // a cold start on the high-end tier).
+    return makeProfile("serverlessbench/stateless-cost", 256,
+                       1.40, 1.45, 1.10, 1.20);
+}
+
+BenchmarkSuite
+BenchmarkSuite::standard()
+{
+    std::vector<FunctionProfile> pool;
+    pool.push_back(table1FunctionA());
+    pool.push_back(table1FunctionB());
+    pool.push_back(table1FunctionC());
+    pool.push_back(statelessCostProfile());
+
+    // Representative ServerlessBench-style applications spanning the
+    // suite's domains. Cold-start overheads are similar across tiers
+    // (the paper's experimental observation). Low-end slowdowns
+    // follow Table 1's pattern: mostly modest (1.15-1.4x, I/O- and
+    // setup-bound functions) with a compute-bound minority at 2.5-4x,
+    // so that -- as the paper reports for ServerlessBench -- more
+    // than 60% of functions serve a warm start on the low-end tier
+    // faster than a cold start on the high-end tier. Memory spans
+    // 128 MB - 6 GB.
+    pool.push_back(makeProfile("image/thumbnail", 512,
+                               1.05, 0.60, 0.90, 0.45));
+    pool.push_back(makeProfile("image/exif-rotate", 256,
+                               0.85, 0.26, 0.75, 0.21));
+    pool.push_back(makeProfile("image/watermark", 768,
+                               1.25, 1.05, 1.05, 0.82));
+    pool.push_back(makeProfile("video/frame-extract", 1536,
+                               2.10, 3.00, 1.80, 2.30));
+    pool.push_back(makeProfile("analytics/word-count", 1024,
+                               1.35, 1.75, 1.15, 1.35));
+    pool.push_back(makeProfile("analytics/json-etl", 640,
+                               0.95, 0.68, 0.85, 0.52));
+    pool.push_back(makeProfile("analytics/log-aggregate", 2048,
+                               1.70, 4.30, 1.45, 2.60));
+    pool.push_back(makeProfile("compile/online-gcc", 1280,
+                               1.90, 4.40, 1.60, 3.40));
+    pool.push_back(makeProfile("compile/template-render", 192,
+                               0.70, 0.19, 0.62, 0.15));
+    pool.push_back(makeProfile("linalg/matmul-512", 896,
+                               1.10, 4.20, 0.95, 1.50));
+    pool.push_back(makeProfile("linalg/pagerank", 1792,
+                               1.55, 9.50, 1.35, 3.80));
+    pool.push_back(makeProfile("ml/inference-resnet", 3072,
+                               2.60, 1.40, 2.20, 1.10));
+    pool.push_back(makeProfile("ml/feature-hash", 448,
+                               0.90, 0.49, 0.80, 0.38));
+    pool.push_back(makeProfile("web/render-ssr", 384,
+                               0.80, 0.39, 0.70, 0.30));
+    pool.push_back(makeProfile("web/auth-check", 128,
+                               0.60, 0.13, 0.55, 0.10));
+    pool.push_back(makeProfile("crypto/pbkdf2", 160,
+                               0.65, 2.60, 0.60, 0.85));
+    pool.push_back(makeProfile("db/kv-query", 320,
+                               0.75, 0.42, 0.68, 0.33));
+    pool.push_back(makeProfile("batch/pdf-report", 6144,
+                               3.20, 6.20, 2.80, 4.60));
+    pool.push_back(makeProfile("stream/dedup-window", 5120,
+                               2.90, 2.10, 2.55, 1.65));
+
+    return BenchmarkSuite(std::move(pool));
+}
+
+BenchmarkSuite::BenchmarkSuite(std::vector<FunctionProfile> profiles)
+    : profiles_(std::move(profiles))
+{
+    ICEB_ASSERT(!profiles_.empty(), "benchmark suite cannot be empty");
+    for (const auto &p : profiles_) {
+        ICEB_ASSERT(p.memory_mb > 0, "profile '", p.name,
+                    "' has no memory footprint");
+        for (int t = 0; t < kNumTiers; ++t) {
+            ICEB_ASSERT(p.exec_ms[static_cast<std::size_t>(t)] > 0,
+                        "profile '", p.name, "' has zero exec time");
+        }
+    }
+}
+
+const FunctionProfile &
+BenchmarkSuite::profile(std::size_t index) const
+{
+    ICEB_ASSERT(index < profiles_.size(), "profile index out of range");
+    return profiles_[index];
+}
+
+const FunctionProfile &
+BenchmarkSuite::profileByName(const std::string &name) const
+{
+    for (const auto &p : profiles_)
+        if (p.name == name)
+            return p;
+    fatal("no benchmark profile named '", name, "'");
+}
+
+double
+BenchmarkSuite::fractionWarmLowBeatsColdHigh() const
+{
+    std::size_t count = 0;
+    for (const auto &p : profiles_)
+        if (p.warmLowBeatsColdHigh())
+            ++count;
+    return static_cast<double>(count) /
+        static_cast<double>(profiles_.size());
+}
+
+} // namespace iceb::workload

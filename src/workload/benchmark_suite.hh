@@ -1,0 +1,73 @@
+/**
+ * @file
+ * ServerlessBench-like benchmark pool.
+ *
+ * The paper measures real ServerlessBench applications (image
+ * processing, data analytics, online compiling, linear algebra, and
+ * the StatelessCost micro-benchmark) on its two tiers, then matches
+ * each Azure-trace function to the nearest benchmark. This module
+ * carries an equivalent profile pool: the three Table 1 functions with
+ * the paper's measured values verbatim, a StatelessCost profile (used
+ * by Fig. 2), and a spread of representative applications covering the
+ * same cold-start/execution/memory ranges.
+ */
+
+#ifndef ICEB_WORKLOAD_BENCHMARK_SUITE_HH
+#define ICEB_WORKLOAD_BENCHMARK_SUITE_HH
+
+#include <vector>
+
+#include "workload/function_profile.hh"
+
+namespace iceb::workload
+{
+
+/**
+ * Immutable pool of benchmark profiles.
+ */
+class BenchmarkSuite
+{
+  public:
+    /** Build the default ServerlessBench-like pool. */
+    static BenchmarkSuite standard();
+
+    /** Construct from an explicit profile list. */
+    explicit BenchmarkSuite(std::vector<FunctionProfile> profiles);
+
+    /** All profiles. */
+    const std::vector<FunctionProfile> &profiles() const
+    {
+        return profiles_;
+    }
+
+    /** Number of profiles. */
+    std::size_t size() const { return profiles_.size(); }
+
+    /** Profile by index. */
+    const FunctionProfile &profile(std::size_t index) const;
+
+    /** Profile by name; fatal() when absent. */
+    const FunctionProfile &profileByName(const std::string &name) const;
+
+    /**
+     * Fraction of pool functions for which a warm start on the
+     * low-end tier beats a cold start on the high-end tier (the paper
+     * reports > 60% for ServerlessBench).
+     */
+    double fractionWarmLowBeatsColdHigh() const;
+
+  private:
+    std::vector<FunctionProfile> profiles_;
+};
+
+/** The paper's Table 1 profiles (units converted from seconds). */
+FunctionProfile table1FunctionA();
+FunctionProfile table1FunctionB();
+FunctionProfile table1FunctionC();
+
+/** The StatelessCost profile used in the paper's Fig. 2 experiment. */
+FunctionProfile statelessCostProfile();
+
+} // namespace iceb::workload
+
+#endif // ICEB_WORKLOAD_BENCHMARK_SUITE_HH

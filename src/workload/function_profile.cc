@@ -1,0 +1,18 @@
+#include "workload/function_profile.hh"
+
+#include "common/logging.hh"
+
+namespace iceb::workload
+{
+
+double
+FunctionProfile::interServerSpeedup() const
+{
+    const double low = static_cast<double>(
+        serviceTimeColdMs(Tier::LowEnd));
+    ICEB_ASSERT(low > 0.0, "profile '", name,
+                "' has zero low-end service time");
+    return static_cast<double>(serviceTimeColdMs(Tier::HighEnd)) / low;
+}
+
+} // namespace iceb::workload

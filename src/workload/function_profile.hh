@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-function performance/resource profile.
+ *
+ * The platform side of the paper only needs four numbers per function
+ * per server tier: cold-start time, execution time, and the memory a
+ * warm instance occupies (plus its name for reporting). Profiles for
+ * the paper's Table 1 functions carry the measured values verbatim.
+ */
+
+#ifndef ICEB_WORKLOAD_FUNCTION_PROFILE_HH
+#define ICEB_WORKLOAD_FUNCTION_PROFILE_HH
+
+#include <array>
+#include <string>
+
+#include "common/types.hh"
+
+namespace iceb::workload
+{
+
+/**
+ * Performance profile of one serverless function across tiers.
+ */
+struct FunctionProfile
+{
+    std::string name;
+
+    /** Memory a warm or running instance occupies. */
+    MemoryMb memory_mb = 0;
+
+    /** Cold-start latency per tier, indexed by tierIndex(). */
+    std::array<TimeMs, kNumTiers> cold_start_ms{0, 0};
+
+    /** Warm execution latency per tier, indexed by tierIndex(). */
+    std::array<TimeMs, kNumTiers> exec_ms{0, 0};
+
+    /** Cold-start time on a tier. */
+    TimeMs coldStartMs(Tier tier) const
+    {
+        return cold_start_ms[static_cast<std::size_t>(tierIndex(tier))];
+    }
+
+    /** Execution time on a tier. */
+    TimeMs execMs(Tier tier) const
+    {
+        return exec_ms[static_cast<std::size_t>(tierIndex(tier))];
+    }
+
+    /** Service time of a cold start on a tier (CST + ET). */
+    TimeMs serviceTimeColdMs(Tier tier) const
+    {
+        return coldStartMs(tier) + execMs(tier);
+    }
+
+    /** Service time of a warm start on a tier (ET only). */
+    TimeMs serviceTimeWarmMs(Tier tier) const { return execMs(tier); }
+
+    /**
+     * Inter-server speedup I_s as the paper defines it: the ratio of
+     * (ET + CST) on the high-end server to (ET + CST) on the low-end
+     * server. Smaller values mean the high-end tier helps more.
+     */
+    double interServerSpeedup() const;
+
+    /**
+     * The Table 1 "metric": true when a warm start on the low-end
+     * server beats a cold start on the high-end server.
+     */
+    bool warmLowBeatsColdHigh() const
+    {
+        return serviceTimeWarmMs(Tier::LowEnd) <
+            serviceTimeColdMs(Tier::HighEnd);
+    }
+};
+
+} // namespace iceb::workload
+
+#endif // ICEB_WORKLOAD_FUNCTION_PROFILE_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Trace-function to benchmark-profile matching.
+ *
+ * The Azure trace provides only memory allocation and average
+ * execution time per function; the paper finds "the nearest match of
+ * a corresponding benchmark from our benchmark pool to represent the
+ * corresponding function behavior" (Sec. 4). This module implements
+ * that matcher and produces the per-function profiles the simulator
+ * consumes.
+ */
+
+#ifndef ICEB_WORKLOAD_PROFILE_MATCHER_HH
+#define ICEB_WORKLOAD_PROFILE_MATCHER_HH
+
+#include <vector>
+
+#include "trace/trace.hh"
+#include "workload/benchmark_suite.hh"
+
+namespace iceb::workload
+{
+
+/** How matched profiles are adapted to the trace's resource hints. */
+enum class MatchMode
+{
+    /**
+     * Use the matched benchmark's numbers verbatim (exactly what the
+     * paper's real-system setup does: the benchmark binary runs).
+     */
+    ProfileOnly,
+
+    /**
+     * Keep the benchmark's tier ratios and cold-start behaviour but
+     * scale execution time and memory to the trace's hints, widening
+     * workload diversity beyond the pool size.
+     */
+    ScaleToTrace,
+};
+
+/**
+ * Matches trace functions to benchmark profiles.
+ */
+class ProfileMatcher
+{
+  public:
+    ProfileMatcher(const BenchmarkSuite &suite,
+                   MatchMode mode = MatchMode::ScaleToTrace);
+
+    /**
+     * Nearest-profile index for the given resource hints, by L2
+     * distance in log(memory), log(exec-time) space (both axes span
+     * orders of magnitude).
+     */
+    std::size_t matchIndex(MemoryMb memory_mb, TimeMs exec_ms) const;
+
+    /** Materialised profile for one trace function. */
+    FunctionProfile profileFor(const trace::FunctionSeries &fn) const;
+
+    /** Profiles for every function in a trace, indexed by id. */
+    std::vector<FunctionProfile> profilesFor(const trace::Trace &tr) const;
+
+  private:
+    const BenchmarkSuite &suite_;
+    MatchMode mode_;
+};
+
+} // namespace iceb::workload
+
+#endif // ICEB_WORKLOAD_PROFILE_MATCHER_HH

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the container lifecycle and memory accounting inside
+ * ClusterState: warm pools, setup attach, eviction order, expiry and
+ * keep-alive cost attribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "policies/openwhisk_policy.hh"
+#include "sim/cluster.hh"
+
+namespace
+{
+
+using namespace iceb;
+using namespace iceb::sim;
+
+/** Two tiny servers (one per tier) for controlled pressure. */
+ClusterConfig
+tinyCluster(MemoryMb high_mb = 1024, MemoryMb low_mb = 1024)
+{
+    ClusterConfig config = defaultHeterogeneousCluster();
+    config.spec(Tier::HighEnd).server_count = 1;
+    config.spec(Tier::HighEnd).memory_per_server_mb = high_mb;
+    config.spec(Tier::LowEnd).server_count = 1;
+    config.spec(Tier::LowEnd).memory_per_server_mb = low_mb;
+    return config;
+}
+
+workload::FunctionProfile
+simpleProfile(MemoryMb mem, TimeMs cst = 1000, TimeMs exec = 2000)
+{
+    workload::FunctionProfile p;
+    p.name = "p";
+    p.memory_mb = mem;
+    p.cold_start_ms = {cst, cst};
+    p.exec_ms = {exec, exec * 2};
+    return p;
+}
+
+class ClusterStateTest : public ::testing::Test
+{
+  protected:
+    ClusterStateTest()
+        : config_(tinyCluster()),
+          profiles_({simpleProfile(256), simpleProfile(512)}),
+          metrics_(profiles_.size()),
+          cluster_(config_, profiles_, events_, metrics_)
+    {
+        cluster_.setNow(0);
+    }
+
+    ClusterConfig config_;
+    std::vector<workload::FunctionProfile> profiles_;
+    EventQueue events_;
+    MetricsCollector metrics_;
+    ClusterState cluster_;
+    policies::OpenWhiskPolicy policy_;
+    const std::array<Tier, 2> order_{Tier::HighEnd, Tier::LowEnd};
+};
+
+TEST_F(ClusterStateTest, EnsureWarmAllocatesMemoryAndSchedulesReady)
+{
+    const std::size_t placed = cluster_.ensureWarm(0, Tier::HighEnd, 2,
+                                                   120'000);
+    EXPECT_EQ(placed, 2u);
+    EXPECT_EQ(cluster_.vacantMemoryMb(Tier::HighEnd), 1024 - 512);
+    EXPECT_EQ(cluster_.warmCount(0, Tier::HighEnd), 2u);
+    EXPECT_EQ(cluster_.liveCount(0), 2u);
+    // Two PrewarmReady events scheduled at the cold-start horizon.
+    EXPECT_EQ(events_.size(), 2u);
+    EXPECT_EQ(*events_.peekTime(), 1000);
+}
+
+TEST_F(ClusterStateTest, EnsureWarmCountsExistingInstances)
+{
+    cluster_.ensureWarm(0, Tier::HighEnd, 2, 120'000);
+    const std::size_t placed = cluster_.ensureWarm(0, Tier::HighEnd, 3,
+                                                   150'000);
+    EXPECT_EQ(placed, 3u); // 2 existing renewed + 1 created
+    EXPECT_EQ(cluster_.warmCount(0, Tier::HighEnd), 3u);
+}
+
+TEST_F(ClusterStateTest, EnsureWarmStopsAtVacantMemory)
+{
+    // 256 MB each into a 1024 MB server: only 4 fit.
+    const std::size_t placed = cluster_.ensureWarm(0, Tier::HighEnd, 9,
+                                                   120'000);
+    EXPECT_EQ(placed, 4u);
+    EXPECT_EQ(cluster_.vacantMemoryMb(Tier::HighEnd), 0);
+}
+
+TEST_F(ClusterStateTest, AcquireWarmNeedsReadyContainer)
+{
+    cluster_.ensureWarm(0, Tier::HighEnd, 1, 120'000);
+    // Still in setup: no idle-warm container yet.
+    EXPECT_FALSE(cluster_.acquireWarm(0, order_).has_value());
+
+    // Process the PrewarmReady event.
+    auto ready = events_.pop();
+    ASSERT_TRUE(ready.has_value());
+    cluster_.setNow(ready->time);
+    cluster_.handlePrewarmReady(*ready, policy_);
+
+    auto acq = cluster_.acquireWarm(0, order_);
+    ASSERT_TRUE(acq.has_value());
+    EXPECT_FALSE(acq->cold);
+    EXPECT_EQ(acq->tier, Tier::HighEnd);
+    EXPECT_EQ(cluster_.warmCount(0, Tier::HighEnd), 0u);
+}
+
+TEST_F(ClusterStateTest, AcquireSetupChargesRemainingColdStart)
+{
+    cluster_.ensureWarm(0, Tier::HighEnd, 1, 120'000);
+    cluster_.setNow(400); // setup completes at 1000
+    auto acq = cluster_.acquireSetup(0, order_);
+    ASSERT_TRUE(acq.has_value());
+    EXPECT_TRUE(acq->cold);
+    EXPECT_EQ(acq->ready_at, 1000);
+}
+
+TEST_F(ClusterStateTest, AcquireColdPrefersTierOrder)
+{
+    auto acq = cluster_.acquireCold(0, {Tier::LowEnd, Tier::HighEnd},
+                                    policy_);
+    ASSERT_TRUE(acq.has_value());
+    EXPECT_EQ(acq->tier, Tier::LowEnd);
+    EXPECT_TRUE(acq->cold);
+    EXPECT_EQ(acq->ready_at, 1000);
+}
+
+TEST_F(ClusterStateTest, AcquireColdSpillsWhenPrimaryFull)
+{
+    cluster_.ensureWarm(1, Tier::HighEnd, 2, 120'000); // 1024 MB: full
+    auto acq = cluster_.acquireCold(1, order_, policy_);
+    ASSERT_TRUE(acq.has_value());
+    // High-end is full of fn 1's own warm instances (never evicted
+    // for itself); the cold start spills to low-end.
+    EXPECT_EQ(acq->tier, Tier::LowEnd);
+}
+
+TEST_F(ClusterStateTest, ColdPrefersVacantTierOverEviction)
+{
+    // High-end full of fn 0 idles, low-end vacant: the cold start
+    // spills to low-end rather than evicting.
+    cluster_.ensureWarm(0, Tier::HighEnd, 4, 120'000);
+    cluster_.setNow(2000);
+    auto acq = cluster_.acquireCold(1, order_, policy_);
+    ASSERT_TRUE(acq.has_value());
+    EXPECT_EQ(acq->tier, Tier::LowEnd);
+    EXPECT_EQ(cluster_.warmCount(0, Tier::HighEnd), 4u);
+}
+
+TEST_F(ClusterStateTest, ColdEvictsIdleLruWhenBothTiersFull)
+{
+    // Fill both tiers with fn 0 idles, then cold-start fn 1.
+    cluster_.ensureWarm(0, Tier::HighEnd, 4, 120'000);
+    cluster_.ensureWarm(0, Tier::LowEnd, 4, 120'000);
+    while (auto event = events_.pop()) {
+        cluster_.setNow(event->time);
+        if (event->type == EventType::PrewarmReady)
+            cluster_.handlePrewarmReady(*event, policy_);
+    }
+    cluster_.setNow(2000);
+    EXPECT_EQ(cluster_.vacantMemoryMb(Tier::HighEnd), 0);
+    EXPECT_EQ(cluster_.vacantMemoryMb(Tier::LowEnd), 0);
+    auto acq = cluster_.acquireCold(1, order_, policy_);
+    ASSERT_TRUE(acq.has_value());
+    EXPECT_EQ(acq->tier, Tier::HighEnd);
+    // Two 256 MB idles evicted for the 512 MB container.
+    EXPECT_EQ(cluster_.warmCount(0, Tier::HighEnd), 2u);
+    // The evicted idle periods were wasteful keep-alive.
+    const SimulationMetrics m = metrics_.take();
+    EXPECT_GT(m.tierKeepAlive(Tier::HighEnd).wasteful_cost, 0.0);
+}
+
+TEST_F(ClusterStateTest, FinishExecutionKeepAliveThenExpiry)
+{
+    auto acq = cluster_.acquireCold(0, order_, policy_);
+    ASSERT_TRUE(acq.has_value());
+    cluster_.setNow(3000);
+    cluster_.finishExecution(acq->id, 60'000, policy_);
+    EXPECT_EQ(cluster_.warmCount(0, Tier::HighEnd), 1u);
+
+    // Find the expiry event and fire it.
+    std::optional<Event> expiry;
+    while (auto event = events_.pop()) {
+        if (event->type == EventType::ContainerExpiry)
+            expiry = event;
+    }
+    ASSERT_TRUE(expiry.has_value());
+    EXPECT_EQ(expiry->time, 63'000);
+    cluster_.setNow(expiry->time);
+    cluster_.handleContainerExpiry(*expiry, policy_);
+    EXPECT_EQ(cluster_.warmCount(0, Tier::HighEnd), 0u);
+    EXPECT_EQ(cluster_.liveCount(0), 0u);
+    EXPECT_EQ(cluster_.vacantMemoryMb(Tier::HighEnd), 1024);
+
+    // The 60 s idle period was wasteful keep-alive.
+    const SimulationMetrics m = metrics_.take();
+    EXPECT_GT(m.tierKeepAlive(Tier::HighEnd).wasteful_cost, 0.0);
+    EXPECT_DOUBLE_EQ(m.tierKeepAlive(Tier::HighEnd).successful_cost,
+                     0.0);
+}
+
+TEST_F(ClusterStateTest, WarmHitRecordsSuccessfulKeepAlive)
+{
+    auto acq = cluster_.acquireCold(0, order_, policy_);
+    cluster_.setNow(3000);
+    cluster_.finishExecution(acq->id, 60'000, policy_);
+    cluster_.setNow(33'000); // idle for 30 s
+    auto warm = cluster_.acquireWarm(0, order_);
+    ASSERT_TRUE(warm.has_value());
+
+    const SimulationMetrics m = metrics_.take();
+    const double rate =
+        dollarsPerGbHourToMbMs(
+            config_.spec(Tier::HighEnd).dollars_per_gb_hour);
+    EXPECT_NEAR(m.tierKeepAlive(Tier::HighEnd).successful_cost,
+                keepAliveCost(256, 30'000, rate), 1e-12);
+    EXPECT_DOUBLE_EQ(m.tierKeepAlive(Tier::HighEnd).wasteful_cost, 0.0);
+}
+
+TEST_F(ClusterStateTest, ZeroKeepAliveDestroysImmediately)
+{
+    auto acq = cluster_.acquireCold(0, order_, policy_);
+    cluster_.setNow(3000);
+    cluster_.finishExecution(acq->id, 0, policy_);
+    EXPECT_EQ(cluster_.liveCount(0), 0u);
+    EXPECT_EQ(cluster_.vacantMemoryMb(Tier::HighEnd), 1024);
+    const SimulationMetrics m = metrics_.take();
+    EXPECT_DOUBLE_EQ(m.totalKeepAliveCost(), 0.0);
+}
+
+TEST_F(ClusterStateTest, RenewalCancelsStaleExpiry)
+{
+    cluster_.ensureWarm(0, Tier::HighEnd, 1, 10'000);
+    auto ready = events_.pop();
+    cluster_.setNow(ready->time);
+    cluster_.handlePrewarmReady(*ready, policy_);
+
+    // Renew with a later expiry; the first expiry event is now stale.
+    cluster_.ensureWarm(0, Tier::HighEnd, 1, 50'000);
+    std::vector<Event> expiries;
+    while (auto event = events_.pop())
+        if (event->type == EventType::ContainerExpiry)
+            expiries.push_back(*event);
+    ASSERT_EQ(expiries.size(), 2u);
+
+    cluster_.setNow(10'000);
+    cluster_.handleContainerExpiry(expiries[0], policy_);
+    EXPECT_EQ(cluster_.warmCount(0, Tier::HighEnd), 1u); // survived
+    cluster_.setNow(50'000);
+    cluster_.handleContainerExpiry(expiries[1], policy_);
+    EXPECT_EQ(cluster_.warmCount(0, Tier::HighEnd), 0u);
+}
+
+TEST_F(ClusterStateTest, ScheduledPrewarmFallsBackAcrossTiers)
+{
+    // Fill high-end completely with fn 1.
+    cluster_.ensureWarm(1, Tier::HighEnd, 2, 200'000);
+    Event start;
+    start.type = EventType::PrewarmStart;
+    start.fn = 0;
+    start.tier = Tier::HighEnd;
+    start.expiry = 100'000;
+    start.time = 0;
+    cluster_.handlePrewarmStart(start, policy_);
+    // Fell back to the low-end tier instead of dropping.
+    EXPECT_EQ(cluster_.warmCount(0, Tier::LowEnd), 1u);
+    EXPECT_EQ(cluster_.prewarmFailures(), 0u);
+}
+
+TEST_F(ClusterStateTest, EnsureWarmEvictingPreemptsOtherFunctions)
+{
+    cluster_.ensureWarm(0, Tier::HighEnd, 4, 200'000); // fill tier
+    while (auto event = events_.pop()) {
+        cluster_.setNow(event->time);
+        if (event->type == EventType::PrewarmReady)
+            cluster_.handlePrewarmReady(*event, policy_);
+    }
+    cluster_.setNow(5000);
+    const std::size_t placed = cluster_.ensureWarmEvicting(
+        1, Tier::HighEnd, 1, 200'000, policy_);
+    EXPECT_EQ(placed, 1u);
+    EXPECT_LT(cluster_.warmCount(0, Tier::HighEnd), 4u);
+}
+
+} // namespace

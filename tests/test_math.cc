@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Unit and property tests for the math substrate: matrices, linear
+ * solving, polynomial fitting, statistics and the chi-square test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/chi2.hh"
+#include "math/matrix.hh"
+#include "math/polyfit.hh"
+#include "math/stats.hh"
+
+namespace
+{
+
+using namespace iceb::math;
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(MatrixTest, IdentityMultiplication)
+{
+    const Matrix m = Matrix::fromRows({{1, 2}, {3, 4}});
+    const Matrix i = Matrix::identity(2);
+    const Matrix out = m.multiply(i);
+    EXPECT_DOUBLE_EQ(out.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(out.at(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(out.at(1, 0), 3.0);
+    EXPECT_DOUBLE_EQ(out.at(1, 1), 4.0);
+}
+
+TEST(MatrixTest, ProductShapeAndValues)
+{
+    const Matrix a = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    const Matrix b = Matrix::fromRows({{7, 8}, {9, 10}, {11, 12}});
+    const Matrix c = a.multiply(b);
+    ASSERT_EQ(c.rows(), 2u);
+    ASSERT_EQ(c.cols(), 2u);
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip)
+{
+    const Matrix a = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    const Matrix t = a.transposed();
+    ASSERT_EQ(t.rows(), 3u);
+    ASSERT_EQ(t.cols(), 2u);
+    const Matrix back = t.transposed();
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(back.at(r, c), a.at(r, c));
+}
+
+TEST(MatrixTest, MatrixVectorProduct)
+{
+    const Matrix a = Matrix::fromRows({{2, 0}, {1, 3}});
+    const std::vector<double> v{1.0, 2.0};
+    const std::vector<double> out = a.multiply(v);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[0], 2.0);
+    EXPECT_DOUBLE_EQ(out[1], 7.0);
+}
+
+TEST(MatrixTest, SolveKnownSystem)
+{
+    const Matrix a = Matrix::fromRows({{2, 1}, {1, 3}});
+    const std::vector<double> b{5.0, 10.0};
+    const std::vector<double> x = solveLinearSystem(a, b);
+    EXPECT_NEAR(x[0], 1.0, 1e-9);
+    EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(MatrixTest, SolveRequiresPivoting)
+{
+    // Leading zero forces a row swap.
+    const Matrix a = Matrix::fromRows({{0, 1}, {1, 0}});
+    const std::vector<double> b{2.0, 3.0};
+    const std::vector<double> x = solveLinearSystem(a, b);
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(MatrixTest, SolveSingularSetsFlag)
+{
+    const Matrix a = Matrix::fromRows({{1, 2}, {2, 4}});
+    const std::vector<double> b{1.0, 2.0};
+    bool singular = false;
+    const std::vector<double> x = solveLinearSystem(a, b, &singular);
+    EXPECT_TRUE(singular);
+    EXPECT_EQ(x.size(), 2u);
+}
+
+TEST(MatrixTest, DotProduct)
+{
+    EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+    EXPECT_DOUBLE_EQ(dot({}, {}), 0.0);
+}
+
+/** Random solvable systems: A*x recovered within tolerance. */
+class SolveSizeTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SolveSizeTest, RecoversPlantedSolution)
+{
+    const std::size_t n = GetParam();
+    Matrix a(n, n);
+    std::vector<double> planted(n);
+    // Diagonally dominant (guaranteed non-singular).
+    for (std::size_t r = 0; r < n; ++r) {
+        planted[r] = static_cast<double>(r) - 1.5;
+        for (std::size_t c = 0; c < n; ++c)
+            a.at(r, c) = (r == c)
+                ? 10.0 + static_cast<double>(r)
+                : std::sin(static_cast<double>(r * 7 + c));
+    }
+    const std::vector<double> b = a.multiply(planted);
+    const std::vector<double> x = solveLinearSystem(a, b);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], planted[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolveSizeTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u));
+
+// --------------------------------------------------------------- Polyfit
+
+TEST(PolyfitTest, EvaluateHorner)
+{
+    const Polynomial p(std::vector<double>{1.0, -2.0, 3.0});
+    EXPECT_DOUBLE_EQ(p.evaluate(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.evaluate(2.0), 1.0 - 4.0 + 12.0);
+    EXPECT_DOUBLE_EQ(p.coeff(2), 3.0);
+    EXPECT_DOUBLE_EQ(p.coeff(9), 0.0);
+}
+
+TEST(PolyfitTest, ExactQuadraticRecovery)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i < 20; ++i) {
+        x.push_back(i);
+        y.push_back(2.0 * i * i - 3.0 * i + 5.0);
+    }
+    const Polynomial p = polyfit(x, y, 2);
+    EXPECT_NEAR(p.coeff(0), 5.0, 1e-6);
+    EXPECT_NEAR(p.coeff(1), -3.0, 1e-6);
+    EXPECT_NEAR(p.coeff(2), 2.0, 1e-7);
+}
+
+TEST(PolyfitTest, SeriesFitMatchesExplicitX)
+{
+    std::vector<double> y;
+    for (int i = 0; i < 15; ++i)
+        y.push_back(0.5 * i + 1.0);
+    const Polynomial p = polyfitSeries(y, 1);
+    EXPECT_NEAR(p.coeff(0), 1.0, 1e-9);
+    EXPECT_NEAR(p.coeff(1), 0.5, 1e-9);
+}
+
+TEST(PolyfitTest, DegenerateXFallsBackToMean)
+{
+    const std::vector<double> x(10, 3.0);
+    std::vector<double> y;
+    for (int i = 0; i < 10; ++i)
+        y.push_back(i);
+    const Polynomial p = polyfit(x, y, 2);
+    EXPECT_NEAR(p.evaluate(3.0), 4.5, 1e-9);
+}
+
+TEST(PolyfitTest, DetrendRemovesTrend)
+{
+    std::vector<double> y;
+    for (int i = 0; i < 30; ++i)
+        y.push_back(4.0 * i + 7.0 + std::sin(i));
+    const Polynomial trend = polyfitSeries(y, 1);
+    const std::vector<double> residual = detrend(y, trend);
+    // Residual should be bounded by the sinusoid, not the trend.
+    for (double r : residual)
+        EXPECT_LT(std::fabs(r), 1.5);
+}
+
+TEST(PolyfitTest, ResidualSumOfSquaresZeroForPerfectFit)
+{
+    std::vector<double> y;
+    for (int i = 0; i < 12; ++i)
+        y.push_back(1.0 + 2.0 * i);
+    const Polynomial trend = polyfitSeries(y, 1);
+    EXPECT_NEAR(residualSumOfSquares(y, trend), 0.0, 1e-9);
+}
+
+/** polyfitSeries recovers planted polynomials of every degree. */
+class PolyDegreeTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(PolyDegreeTest, RecoversPlantedCoefficients)
+{
+    const std::size_t degree = GetParam();
+    std::vector<double> coeffs;
+    for (std::size_t k = 0; k <= degree; ++k)
+        coeffs.push_back(0.3 * static_cast<double>(k + 1));
+    const Polynomial planted(coeffs);
+    std::vector<double> y;
+    for (int i = 0; i < 40; ++i)
+        y.push_back(planted.evaluate(i));
+    const Polynomial fit = polyfitSeries(y, degree);
+    for (std::size_t k = 0; k <= degree; ++k)
+        EXPECT_NEAR(fit.coeff(k), coeffs[k], 1e-5) << "degree " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolyDegreeTest,
+                         ::testing::Values(0u, 1u, 2u, 3u));
+
+// ----------------------------------------------------------------- Stats
+
+TEST(StatsTest, MeanVarianceStddev)
+{
+    const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(v), 5.0);
+    EXPECT_DOUBLE_EQ(variance(v), 4.0);
+    EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+}
+
+TEST(StatsTest, EmptyInputsAreZero)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(variance({}), 0.0);
+    EXPECT_DOUBLE_EQ(minValue({}), 0.0);
+    EXPECT_DOUBLE_EQ(maxValue({}), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates)
+{
+    const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+    EXPECT_DOUBLE_EQ(median(v), 25.0);
+}
+
+TEST(StatsTest, PercentileUnsortedInput)
+{
+    const std::vector<double> v{40.0, 10.0, 30.0, 20.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+}
+
+TEST(StatsTest, MinMaxNormalizeRange)
+{
+    const std::vector<double> v{1.0, 3.0, 5.0};
+    const std::vector<double> n = minMaxNormalize(v);
+    EXPECT_DOUBLE_EQ(n[0], 0.0);
+    EXPECT_DOUBLE_EQ(n[1], 0.5);
+    EXPECT_DOUBLE_EQ(n[2], 1.0);
+}
+
+TEST(StatsTest, MinMaxNormalizeConstantIsHalf)
+{
+    const std::vector<double> n = minMaxNormalize({4.0, 4.0, 4.0});
+    for (double v : n)
+        EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(StatsTest, CdfLookupAndQuantile)
+{
+    const Cdf cdf = buildCdf({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.at(99.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+}
+
+TEST(StatsTest, ErrorMetrics)
+{
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    const std::vector<double> b{2.0, 2.0, 1.0};
+    EXPECT_DOUBLE_EQ(meanAbsoluteError(a, b), 1.0);
+    EXPECT_NEAR(rootMeanSquaredError(a, b), std::sqrt(5.0 / 3.0), 1e-12);
+    EXPECT_DOUBLE_EQ(meanAbsoluteError(a, a), 0.0);
+}
+
+// ------------------------------------------------------------------ Chi2
+
+TEST(Chi2Test, RegularizedGammaBoundaries)
+{
+    EXPECT_DOUBLE_EQ(regularizedLowerGamma(1.0, 0.0), 0.0);
+    EXPECT_NEAR(regularizedLowerGamma(1.0, 1.0), 1.0 - std::exp(-1.0),
+                1e-10);
+    EXPECT_NEAR(regularizedLowerGamma(0.5, 100.0), 1.0, 1e-9);
+}
+
+TEST(Chi2Test, ChiSquareCdfKnownValues)
+{
+    // chi2 with 2 dof is Exp(1/2): CDF(x) = 1 - exp(-x/2).
+    for (double x : {0.5, 1.0, 2.0, 5.0}) {
+        EXPECT_NEAR(chiSquareCdf(x, 2.0), 1.0 - std::exp(-x / 2.0),
+                    1e-9);
+    }
+    // Median of chi2(1) is about 0.4549.
+    EXPECT_NEAR(chiSquareCdf(0.4549, 1.0), 0.5, 1e-3);
+}
+
+TEST(Chi2Test, StatisticZeroForPerfectMatch)
+{
+    const std::vector<double> obs{5.0, 10.0, 15.0};
+    EXPECT_DOUBLE_EQ(pearsonChiSquareStatistic(obs, obs), 0.0);
+}
+
+TEST(Chi2Test, StatisticGrowsWithMismatch)
+{
+    const std::vector<double> expected{10.0, 10.0, 10.0};
+    const double small = pearsonChiSquareStatistic(
+        {11.0, 9.0, 10.0}, expected);
+    const double large = pearsonChiSquareStatistic(
+        {20.0, 2.0, 8.0}, expected);
+    EXPECT_LT(small, large);
+}
+
+TEST(Chi2Test, GoodFitHasHighConfidence)
+{
+    std::vector<double> expected, observed;
+    for (int i = 0; i < 30; ++i) {
+        expected.push_back(20.0 + i);
+        observed.push_back(20.0 + i + ((i % 2 == 0) ? 0.5 : -0.5));
+    }
+    const GoodnessOfFit fit =
+        chiSquareGoodnessOfFit(observed, expected, 3);
+    EXPECT_GT(fit.confidence, 0.95);
+}
+
+TEST(Chi2Test, BadFitHasLowConfidence)
+{
+    std::vector<double> expected, observed;
+    for (int i = 0; i < 30; ++i) {
+        expected.push_back(20.0);
+        observed.push_back((i % 2 == 0) ? 5.0 : 40.0);
+    }
+    const GoodnessOfFit fit =
+        chiSquareGoodnessOfFit(observed, expected, 3);
+    EXPECT_LT(fit.confidence, 0.01);
+}
+
+} // namespace

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the deterministic random number generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+
+namespace
+{
+
+using iceb::Rng;
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds)
+{
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(RngTest, UniformMeanConverges)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds)
+{
+    Rng rng(10);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.uniformInt(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u); // all five values hit
+}
+
+TEST(RngTest, UniformIntSingleton)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(4, 4), 4);
+}
+
+TEST(RngTest, UniformIntNegativeRange)
+{
+    Rng rng(12);
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.uniformInt(-10, -5);
+        EXPECT_GE(v, -10);
+        EXPECT_LE(v, -5);
+    }
+}
+
+TEST(RngTest, GaussianMoments)
+{
+    Rng rng(13);
+    const int n = 200000;
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianShiftScale)
+{
+    Rng rng(14);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, PoissonMeanMatches)
+{
+    Rng rng(15);
+    for (double mean : {0.5, 3.0, 20.0, 50.0}) {
+        const int n = 50000;
+        double sum = 0.0;
+        for (int i = 0; i < n; ++i)
+            sum += static_cast<double>(rng.poisson(mean));
+        EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05)
+            << "mean " << mean;
+    }
+}
+
+TEST(RngTest, PoissonZeroMean)
+{
+    Rng rng(16);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(RngTest, ExponentialMean)
+{
+    Rng rng(17);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(2.0);
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliProbability)
+{
+    Rng rng(18);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        if (rng.bernoulli(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent)
+{
+    Rng parent(19);
+    Rng child_a = parent.fork(1);
+    Rng child_b = parent.fork(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (child_a.next() == child_b.next())
+            ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ForkIsDeterministic)
+{
+    Rng p1(20);
+    Rng p2(20);
+    Rng c1 = p1.fork(5);
+    Rng c2 = p2.fork(5);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(c1.next(), c2.next());
+}
+
+TEST(RngTest, SplitMix64KnownProgression)
+{
+    std::uint64_t s1 = 0;
+    std::uint64_t s2 = 0;
+    const std::uint64_t a = iceb::splitMix64(s1);
+    const std::uint64_t b = iceb::splitMix64(s2);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(iceb::splitMix64(s1), a); // state advanced
+}
+
+/** Seed sweep: core distribution invariants hold for any seed. */
+class RngSeedTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngSeedTest, UniformStaysInRangeAndCoversBothHalves)
+{
+    Rng rng(GetParam());
+    int low = 0;
+    int high = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        (u < 0.5 ? low : high)++;
+    }
+    EXPECT_GT(low, 700);
+    EXPECT_GT(high, 700);
+}
+
+TEST_P(RngSeedTest, GaussianIsSymmetricEnough)
+{
+    Rng rng(GetParam());
+    int negative = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i)
+        if (rng.gaussian() < 0.0)
+            ++negative;
+    EXPECT_NEAR(static_cast<double>(negative) / n, 0.5, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedTest,
+                         ::testing::Values(0ull, 1ull, 42ull,
+                                           0xDEADBEEFull,
+                                           0xFFFFFFFFFFFFFFFFull));
+
+} // namespace

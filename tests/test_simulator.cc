@@ -1,0 +1,249 @@
+/**
+ * @file
+ * End-to-end simulator tests on small hand-crafted traces where the
+ * expected accounting can be verified exactly: warm/cold splits under
+ * the fixed keep-alive policy, Oracle behaviour, FIFO waiting, and
+ * service-time composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "policies/openwhisk_policy.hh"
+#include "policies/oracle_policy.hh"
+#include "sim/simulator.hh"
+
+namespace
+{
+
+using namespace iceb;
+using namespace iceb::sim;
+
+/** One function, invoked once in each listed interval. */
+trace::Trace
+traceWithPattern(const std::vector<std::uint32_t> &counts,
+                 std::size_t extra_fns = 0)
+{
+    trace::Trace tr(counts.size(), kMsPerMinute);
+    trace::FunctionSeries fn;
+    fn.name = "f0";
+    fn.memory_mb = 256;
+    fn.avg_exec_ms = 1000;
+    fn.concurrency = counts;
+    tr.addFunction(fn);
+    for (std::size_t i = 0; i < extra_fns; ++i) {
+        trace::FunctionSeries extra = fn;
+        extra.name = "fx" + std::to_string(i);
+        tr.addFunction(extra);
+    }
+    return tr;
+}
+
+std::vector<workload::FunctionProfile>
+profilesFor(const trace::Trace &tr, MemoryMb mem = 256,
+            TimeMs cst = 1000, TimeMs exec = 2000)
+{
+    workload::FunctionProfile p;
+    p.name = "test";
+    p.memory_mb = mem;
+    p.cold_start_ms = {cst, cst};
+    p.exec_ms = {exec, 2 * exec};
+    return std::vector<workload::FunctionProfile>(tr.numFunctions(), p);
+}
+
+ClusterConfig
+smallCluster(MemoryMb high_mb, MemoryMb low_mb)
+{
+    ClusterConfig config = defaultHeterogeneousCluster();
+    config.spec(Tier::HighEnd).server_count = 1;
+    config.spec(Tier::HighEnd).memory_per_server_mb = high_mb;
+    config.spec(Tier::LowEnd).server_count = 1;
+    config.spec(Tier::LowEnd).memory_per_server_mb = low_mb;
+    return config;
+}
+
+TEST(SimulatorTest, SparseArrivalsAllColdUnderShortKeepAlive)
+{
+    // Arrivals 30 minutes apart with a 10-minute keep-alive: every
+    // invocation cold starts.
+    std::vector<std::uint32_t> counts(91, 0);
+    counts[0] = counts[30] = counts[60] = counts[90] = 1;
+    const trace::Trace tr = traceWithPattern(counts);
+    const auto profiles = profilesFor(tr);
+    const ClusterConfig cluster = smallCluster(4096, 4096);
+
+    policies::OpenWhiskPolicy policy;
+    const SimulationMetrics m =
+        runSimulation(tr, profiles, cluster, policy);
+    EXPECT_EQ(m.invocations, 4u);
+    EXPECT_EQ(m.cold_starts, 4u);
+    EXPECT_EQ(m.warm_starts, 0u);
+    // Service = CST + exec on the (preferred) high-end tier.
+    EXPECT_DOUBLE_EQ(m.meanServiceMs(), 3000.0);
+    EXPECT_DOUBLE_EQ(m.meanWaitMs(), 0.0);
+    // Each invocation leaves one wasteful 10-minute keep-alive.
+    const double rate = dollarsPerGbHourToMbMs(
+        cluster.spec(Tier::HighEnd).dollars_per_gb_hour);
+    EXPECT_NEAR(m.totalKeepAliveCost(),
+                4.0 * keepAliveCost(256, 10 * kMsPerMinute, rate),
+                1e-9);
+    EXPECT_DOUBLE_EQ(m.tierKeepAlive(Tier::HighEnd).successful_cost,
+                     0.0);
+}
+
+TEST(SimulatorTest, DenseArrivalsWarmUnderKeepAlive)
+{
+    // Arrivals every 5 minutes inside the 10-minute keep-alive: only
+    // the very first is cold.
+    std::vector<std::uint32_t> counts(46, 0);
+    for (std::size_t t = 0; t < counts.size(); t += 5)
+        counts[t] = 1;
+    const trace::Trace tr = traceWithPattern(counts);
+    const auto profiles = profilesFor(tr);
+    const ClusterConfig cluster = smallCluster(4096, 4096);
+
+    policies::OpenWhiskPolicy policy;
+    const SimulationMetrics m =
+        runSimulation(tr, profiles, cluster, policy);
+    EXPECT_EQ(m.invocations, 10u);
+    EXPECT_EQ(m.cold_starts, 1u);
+    EXPECT_EQ(m.warm_starts, 9u);
+    EXPECT_GT(m.tierKeepAlive(Tier::HighEnd).successful_cost, 0.0);
+}
+
+TEST(SimulatorTest, ConcurrentBurstNeedsMultipleContainers)
+{
+    // Five simultaneous invocations: each needs its own instance, so
+    // with no pre-warming all five are cold.
+    std::vector<std::uint32_t> counts(5, 0);
+    counts[0] = 5;
+    const trace::Trace tr = traceWithPattern(counts);
+    const auto profiles = profilesFor(tr);
+    const ClusterConfig cluster = smallCluster(8192, 8192);
+
+    policies::OpenWhiskPolicy policy;
+    const SimulationMetrics m =
+        runSimulation(tr, profiles, cluster, policy);
+    EXPECT_EQ(m.invocations, 5u);
+    // Arrivals spread over <= 5 s while CST + exec = 3 s; at least the
+    // leading arrivals must cold start on fresh containers.
+    EXPECT_GE(m.cold_starts, 3u);
+}
+
+TEST(SimulatorTest, WaitQueueWhenMemoryExhausted)
+{
+    // Memory fits exactly one container; three simultaneous
+    // invocations must serialise with nonzero wait.
+    std::vector<std::uint32_t> counts(30, 0);
+    counts[0] = 3;
+    const trace::Trace tr = traceWithPattern(counts);
+    const auto profiles = profilesFor(tr);
+    const ClusterConfig cluster = smallCluster(256, 0);
+
+    policies::OpenWhiskPolicy policy(0); // no keep-alive: frees memory
+    const SimulationMetrics m =
+        runSimulation(tr, profiles, cluster, policy);
+    EXPECT_EQ(m.invocations, 3u);
+    EXPECT_EQ(m.cold_starts, 3u);
+    EXPECT_GT(m.meanWaitMs(), 0.0);
+}
+
+TEST(SimulatorTest, OracleGetsAllWarmStartsAndZeroKeepAlive)
+{
+    std::vector<std::uint32_t> counts(60, 0);
+    counts[5] = 2;
+    counts[20] = 1;
+    counts[40] = 3;
+    const trace::Trace tr = traceWithPattern(counts, 2);
+    const auto profiles = profilesFor(tr);
+    const ClusterConfig cluster = smallCluster(8192, 8192);
+
+    policies::OraclePolicy policy;
+    const SimulationMetrics m =
+        runSimulation(tr, profiles, cluster, policy);
+    EXPECT_EQ(m.invocations, 18u);
+    EXPECT_EQ(m.warm_starts, 18u);
+    EXPECT_EQ(m.cold_starts, 0u);
+    // Just-in-time: idle windows are (near) zero. Within-burst
+    // double-provisioning may leave a sub-minute grace idle, so the
+    // cost is bounded rather than exactly zero.
+    EXPECT_LT(m.totalKeepAliveCost(), 1e-3);
+    // All executions on the fast tier.
+    EXPECT_DOUBLE_EQ(m.meanServiceMs(), 2000.0);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns)
+{
+    std::vector<std::uint32_t> counts(120, 0);
+    for (std::size_t t = 0; t < counts.size(); t += 7)
+        counts[t] = 1 + t % 3;
+    const trace::Trace tr = traceWithPattern(counts, 3);
+    const auto profiles = profilesFor(tr);
+    const ClusterConfig cluster = smallCluster(4096, 4096);
+
+    policies::OpenWhiskPolicy p1, p2;
+    const SimulationMetrics a =
+        runSimulation(tr, profiles, cluster, p1);
+    const SimulationMetrics b =
+        runSimulation(tr, profiles, cluster, p2);
+    EXPECT_EQ(a.invocations, b.invocations);
+    EXPECT_EQ(a.cold_starts, b.cold_starts);
+    EXPECT_DOUBLE_EQ(a.sum_service_ms, b.sum_service_ms);
+    EXPECT_DOUBLE_EQ(a.totalKeepAliveCost(), b.totalKeepAliveCost());
+}
+
+TEST(SimulatorTest, SeedChangesJitterButNotTotals)
+{
+    std::vector<std::uint32_t> counts(60, 0);
+    counts[10] = 4;
+    const trace::Trace tr = traceWithPattern(counts);
+    const auto profiles = profilesFor(tr);
+    const ClusterConfig cluster = smallCluster(8192, 8192);
+
+    policies::OpenWhiskPolicy p1, p2;
+    SimulatorOptions o1, o2;
+    o2.seed = o1.seed + 99;
+    const SimulationMetrics a = runSimulation(tr, profiles, cluster,
+                                              p1, o1);
+    const SimulationMetrics b = runSimulation(tr, profiles, cluster,
+                                              p2, o2);
+    EXPECT_EQ(a.invocations, b.invocations);
+}
+
+TEST(SimulatorTest, OverheadChargedToEveryInvocation)
+{
+    class OverheadPolicy : public policies::OpenWhiskPolicy
+    {
+      public:
+        TimeMs overheadMs() const override { return 25; }
+    };
+    std::vector<std::uint32_t> counts(3, 0);
+    counts[0] = 1;
+    const trace::Trace tr = traceWithPattern(counts);
+    const auto profiles = profilesFor(tr);
+    const ClusterConfig cluster = smallCluster(4096, 4096);
+
+    OverheadPolicy policy;
+    const SimulationMetrics m =
+        runSimulation(tr, profiles, cluster, policy);
+    EXPECT_DOUBLE_EQ(m.sum_overhead_ms, 25.0);
+    EXPECT_DOUBLE_EQ(m.meanServiceMs(), 3025.0);
+}
+
+TEST(SimulatorTest, HighTierPreferredWhileItHasRoom)
+{
+    std::vector<std::uint32_t> counts(20, 0);
+    counts[0] = 1;
+    counts[10] = 1;
+    const trace::Trace tr = traceWithPattern(counts);
+    const auto profiles = profilesFor(tr);
+    const ClusterConfig cluster = smallCluster(4096, 4096);
+
+    policies::OpenWhiskPolicy policy;
+    const SimulationMetrics m =
+        runSimulation(tr, profiles, cluster, policy);
+    EXPECT_EQ(m.service_times_high_ms.size(), 2u);
+    EXPECT_TRUE(m.service_times_low_ms.empty());
+}
+
+} // namespace
