@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceb_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/iceb_bench_util.dir/bench_util.cc.o.d"
+  "libiceb_bench_util.a"
+  "libiceb_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceb_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiceb_bench_util.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceb_common.dir/csv.cc.o"
+  "CMakeFiles/iceb_common.dir/csv.cc.o.d"
+  "CMakeFiles/iceb_common.dir/logging.cc.o"
+  "CMakeFiles/iceb_common.dir/logging.cc.o.d"
+  "CMakeFiles/iceb_common.dir/rng.cc.o"
+  "CMakeFiles/iceb_common.dir/rng.cc.o.d"
+  "CMakeFiles/iceb_common.dir/table.cc.o"
+  "CMakeFiles/iceb_common.dir/table.cc.o.d"
+  "libiceb_common.a"
+  "libiceb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceb_core.dir/icebreaker.cc.o"
+  "CMakeFiles/iceb_core.dir/icebreaker.cc.o.d"
+  "CMakeFiles/iceb_core.dir/pdm.cc.o"
+  "CMakeFiles/iceb_core.dir/pdm.cc.o.d"
+  "CMakeFiles/iceb_core.dir/utility_score.cc.o"
+  "CMakeFiles/iceb_core.dir/utility_score.cc.o.d"
+  "libiceb_core.a"
+  "libiceb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

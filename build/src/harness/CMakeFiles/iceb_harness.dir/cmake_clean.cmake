@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceb_harness.dir/experiment.cc.o"
+  "CMakeFiles/iceb_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/iceb_harness.dir/report.cc.o"
+  "CMakeFiles/iceb_harness.dir/report.cc.o.d"
+  "libiceb_harness.a"
+  "libiceb_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceb_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/chi2.cc" "src/math/CMakeFiles/iceb_math.dir/chi2.cc.o" "gcc" "src/math/CMakeFiles/iceb_math.dir/chi2.cc.o.d"
+  "/root/repo/src/math/fft.cc" "src/math/CMakeFiles/iceb_math.dir/fft.cc.o" "gcc" "src/math/CMakeFiles/iceb_math.dir/fft.cc.o.d"
+  "/root/repo/src/math/harmonics.cc" "src/math/CMakeFiles/iceb_math.dir/harmonics.cc.o" "gcc" "src/math/CMakeFiles/iceb_math.dir/harmonics.cc.o.d"
+  "/root/repo/src/math/matrix.cc" "src/math/CMakeFiles/iceb_math.dir/matrix.cc.o" "gcc" "src/math/CMakeFiles/iceb_math.dir/matrix.cc.o.d"
+  "/root/repo/src/math/polyfit.cc" "src/math/CMakeFiles/iceb_math.dir/polyfit.cc.o" "gcc" "src/math/CMakeFiles/iceb_math.dir/polyfit.cc.o.d"
+  "/root/repo/src/math/stats.cc" "src/math/CMakeFiles/iceb_math.dir/stats.cc.o" "gcc" "src/math/CMakeFiles/iceb_math.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iceb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceb_math.dir/chi2.cc.o"
+  "CMakeFiles/iceb_math.dir/chi2.cc.o.d"
+  "CMakeFiles/iceb_math.dir/fft.cc.o"
+  "CMakeFiles/iceb_math.dir/fft.cc.o.d"
+  "CMakeFiles/iceb_math.dir/harmonics.cc.o"
+  "CMakeFiles/iceb_math.dir/harmonics.cc.o.d"
+  "CMakeFiles/iceb_math.dir/matrix.cc.o"
+  "CMakeFiles/iceb_math.dir/matrix.cc.o.d"
+  "CMakeFiles/iceb_math.dir/polyfit.cc.o"
+  "CMakeFiles/iceb_math.dir/polyfit.cc.o.d"
+  "CMakeFiles/iceb_math.dir/stats.cc.o"
+  "CMakeFiles/iceb_math.dir/stats.cc.o.d"
+  "libiceb_math.a"
+  "libiceb_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceb_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

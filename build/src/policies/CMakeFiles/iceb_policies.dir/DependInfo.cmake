@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/faascache_policy.cc" "src/policies/CMakeFiles/iceb_policies.dir/faascache_policy.cc.o" "gcc" "src/policies/CMakeFiles/iceb_policies.dir/faascache_policy.cc.o.d"
+  "/root/repo/src/policies/oracle_policy.cc" "src/policies/CMakeFiles/iceb_policies.dir/oracle_policy.cc.o" "gcc" "src/policies/CMakeFiles/iceb_policies.dir/oracle_policy.cc.o.d"
+  "/root/repo/src/policies/policy_util.cc" "src/policies/CMakeFiles/iceb_policies.dir/policy_util.cc.o" "gcc" "src/policies/CMakeFiles/iceb_policies.dir/policy_util.cc.o.d"
+  "/root/repo/src/policies/wild_policy.cc" "src/policies/CMakeFiles/iceb_policies.dir/wild_policy.cc.o" "gcc" "src/policies/CMakeFiles/iceb_policies.dir/wild_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/iceb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/iceb_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/iceb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/iceb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/iceb_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iceb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

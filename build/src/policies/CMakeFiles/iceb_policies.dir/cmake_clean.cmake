@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceb_policies.dir/faascache_policy.cc.o"
+  "CMakeFiles/iceb_policies.dir/faascache_policy.cc.o.d"
+  "CMakeFiles/iceb_policies.dir/oracle_policy.cc.o"
+  "CMakeFiles/iceb_policies.dir/oracle_policy.cc.o.d"
+  "CMakeFiles/iceb_policies.dir/policy_util.cc.o"
+  "CMakeFiles/iceb_policies.dir/policy_util.cc.o.d"
+  "CMakeFiles/iceb_policies.dir/wild_policy.cc.o"
+  "CMakeFiles/iceb_policies.dir/wild_policy.cc.o.d"
+  "libiceb_policies.a"
+  "libiceb_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceb_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictors/arima.cc" "src/predictors/CMakeFiles/iceb_predictors.dir/arima.cc.o" "gcc" "src/predictors/CMakeFiles/iceb_predictors.dir/arima.cc.o.d"
+  "/root/repo/src/predictors/fft_predictor.cc" "src/predictors/CMakeFiles/iceb_predictors.dir/fft_predictor.cc.o" "gcc" "src/predictors/CMakeFiles/iceb_predictors.dir/fft_predictor.cc.o.d"
+  "/root/repo/src/predictors/hybrid_histogram.cc" "src/predictors/CMakeFiles/iceb_predictors.dir/hybrid_histogram.cc.o" "gcc" "src/predictors/CMakeFiles/iceb_predictors.dir/hybrid_histogram.cc.o.d"
+  "/root/repo/src/predictors/lstm.cc" "src/predictors/CMakeFiles/iceb_predictors.dir/lstm.cc.o" "gcc" "src/predictors/CMakeFiles/iceb_predictors.dir/lstm.cc.o.d"
+  "/root/repo/src/predictors/prediction_tracker.cc" "src/predictors/CMakeFiles/iceb_predictors.dir/prediction_tracker.cc.o" "gcc" "src/predictors/CMakeFiles/iceb_predictors.dir/prediction_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iceb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/iceb_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceb_predictors.dir/arima.cc.o"
+  "CMakeFiles/iceb_predictors.dir/arima.cc.o.d"
+  "CMakeFiles/iceb_predictors.dir/fft_predictor.cc.o"
+  "CMakeFiles/iceb_predictors.dir/fft_predictor.cc.o.d"
+  "CMakeFiles/iceb_predictors.dir/hybrid_histogram.cc.o"
+  "CMakeFiles/iceb_predictors.dir/hybrid_histogram.cc.o.d"
+  "CMakeFiles/iceb_predictors.dir/lstm.cc.o"
+  "CMakeFiles/iceb_predictors.dir/lstm.cc.o.d"
+  "CMakeFiles/iceb_predictors.dir/prediction_tracker.cc.o"
+  "CMakeFiles/iceb_predictors.dir/prediction_tracker.cc.o.d"
+  "libiceb_predictors.a"
+  "libiceb_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceb_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

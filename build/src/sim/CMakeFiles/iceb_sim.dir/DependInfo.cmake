@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cc" "src/sim/CMakeFiles/iceb_sim.dir/cluster.cc.o" "gcc" "src/sim/CMakeFiles/iceb_sim.dir/cluster.cc.o.d"
+  "/root/repo/src/sim/cluster_config.cc" "src/sim/CMakeFiles/iceb_sim.dir/cluster_config.cc.o" "gcc" "src/sim/CMakeFiles/iceb_sim.dir/cluster_config.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/iceb_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/iceb_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/iceb_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/iceb_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/iceb_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/iceb_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iceb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/iceb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/iceb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/iceb_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

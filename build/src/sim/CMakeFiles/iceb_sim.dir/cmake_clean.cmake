@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceb_sim.dir/cluster.cc.o"
+  "CMakeFiles/iceb_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/iceb_sim.dir/cluster_config.cc.o"
+  "CMakeFiles/iceb_sim.dir/cluster_config.cc.o.d"
+  "CMakeFiles/iceb_sim.dir/event_queue.cc.o"
+  "CMakeFiles/iceb_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/iceb_sim.dir/metrics.cc.o"
+  "CMakeFiles/iceb_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/iceb_sim.dir/simulator.cc.o"
+  "CMakeFiles/iceb_sim.dir/simulator.cc.o.d"
+  "libiceb_sim.a"
+  "libiceb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceb_trace.dir/azure_loader.cc.o"
+  "CMakeFiles/iceb_trace.dir/azure_loader.cc.o.d"
+  "CMakeFiles/iceb_trace.dir/synthetic.cc.o"
+  "CMakeFiles/iceb_trace.dir/synthetic.cc.o.d"
+  "CMakeFiles/iceb_trace.dir/trace.cc.o"
+  "CMakeFiles/iceb_trace.dir/trace.cc.o.d"
+  "CMakeFiles/iceb_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/iceb_trace.dir/trace_stats.cc.o.d"
+  "libiceb_trace.a"
+  "libiceb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmark_suite.cc" "src/workload/CMakeFiles/iceb_workload.dir/benchmark_suite.cc.o" "gcc" "src/workload/CMakeFiles/iceb_workload.dir/benchmark_suite.cc.o.d"
+  "/root/repo/src/workload/function_profile.cc" "src/workload/CMakeFiles/iceb_workload.dir/function_profile.cc.o" "gcc" "src/workload/CMakeFiles/iceb_workload.dir/function_profile.cc.o.d"
+  "/root/repo/src/workload/profile_matcher.cc" "src/workload/CMakeFiles/iceb_workload.dir/profile_matcher.cc.o" "gcc" "src/workload/CMakeFiles/iceb_workload.dir/profile_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/iceb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/iceb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/iceb_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

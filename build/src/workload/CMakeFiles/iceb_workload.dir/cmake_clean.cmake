@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceb_workload.dir/benchmark_suite.cc.o"
+  "CMakeFiles/iceb_workload.dir/benchmark_suite.cc.o.d"
+  "CMakeFiles/iceb_workload.dir/function_profile.cc.o"
+  "CMakeFiles/iceb_workload.dir/function_profile.cc.o.d"
+  "CMakeFiles/iceb_workload.dir/profile_matcher.cc.o"
+  "CMakeFiles/iceb_workload.dir/profile_matcher.cc.o.d"
+  "libiceb_workload.a"
+  "libiceb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

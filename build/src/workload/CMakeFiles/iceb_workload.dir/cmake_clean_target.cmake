@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiceb_workload.a"
+)

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cluster.cc" "tests/CMakeFiles/iceb_tests.dir/test_cluster.cc.o" "gcc" "tests/CMakeFiles/iceb_tests.dir/test_cluster.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/iceb_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/iceb_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/iceb_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/iceb_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_fft.cc" "tests/CMakeFiles/iceb_tests.dir/test_fft.cc.o" "gcc" "tests/CMakeFiles/iceb_tests.dir/test_fft.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/iceb_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/iceb_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_math.cc" "tests/CMakeFiles/iceb_tests.dir/test_math.cc.o" "gcc" "tests/CMakeFiles/iceb_tests.dir/test_math.cc.o.d"
+  "/root/repo/tests/test_policies.cc" "tests/CMakeFiles/iceb_tests.dir/test_policies.cc.o" "gcc" "tests/CMakeFiles/iceb_tests.dir/test_policies.cc.o.d"
+  "/root/repo/tests/test_predictors.cc" "tests/CMakeFiles/iceb_tests.dir/test_predictors.cc.o" "gcc" "tests/CMakeFiles/iceb_tests.dir/test_predictors.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/iceb_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/iceb_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_sim_core.cc" "tests/CMakeFiles/iceb_tests.dir/test_sim_core.cc.o" "gcc" "tests/CMakeFiles/iceb_tests.dir/test_sim_core.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/iceb_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/iceb_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/iceb_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/iceb_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/iceb_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/iceb_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/iceb_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/iceb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/iceb_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/iceb_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/iceb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/iceb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/iceb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/iceb_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/iceb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iceb_tests.dir/test_cluster.cc.o"
+  "CMakeFiles/iceb_tests.dir/test_cluster.cc.o.d"
+  "CMakeFiles/iceb_tests.dir/test_common.cc.o"
+  "CMakeFiles/iceb_tests.dir/test_common.cc.o.d"
+  "CMakeFiles/iceb_tests.dir/test_core.cc.o"
+  "CMakeFiles/iceb_tests.dir/test_core.cc.o.d"
+  "CMakeFiles/iceb_tests.dir/test_fft.cc.o"
+  "CMakeFiles/iceb_tests.dir/test_fft.cc.o.d"
+  "CMakeFiles/iceb_tests.dir/test_integration.cc.o"
+  "CMakeFiles/iceb_tests.dir/test_integration.cc.o.d"
+  "CMakeFiles/iceb_tests.dir/test_math.cc.o"
+  "CMakeFiles/iceb_tests.dir/test_math.cc.o.d"
+  "CMakeFiles/iceb_tests.dir/test_policies.cc.o"
+  "CMakeFiles/iceb_tests.dir/test_policies.cc.o.d"
+  "CMakeFiles/iceb_tests.dir/test_predictors.cc.o"
+  "CMakeFiles/iceb_tests.dir/test_predictors.cc.o.d"
+  "CMakeFiles/iceb_tests.dir/test_rng.cc.o"
+  "CMakeFiles/iceb_tests.dir/test_rng.cc.o.d"
+  "CMakeFiles/iceb_tests.dir/test_sim_core.cc.o"
+  "CMakeFiles/iceb_tests.dir/test_sim_core.cc.o.d"
+  "CMakeFiles/iceb_tests.dir/test_simulator.cc.o"
+  "CMakeFiles/iceb_tests.dir/test_simulator.cc.o.d"
+  "CMakeFiles/iceb_tests.dir/test_trace.cc.o"
+  "CMakeFiles/iceb_tests.dir/test_trace.cc.o.d"
+  "CMakeFiles/iceb_tests.dir/test_workload.cc.o"
+  "CMakeFiles/iceb_tests.dir/test_workload.cc.o.d"
+  "iceb_tests"
+  "iceb_tests.pdb"
+  "iceb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iceb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
