@@ -3,97 +3,74 @@
  * Ablation study of IceBreaker's design choices (the DESIGN.md Sec. 5
  * list): dynamic cut-offs, the ping-pong safeguard, the large-memory
  * safeguard, the self-correcting concurrency margin, and the
- * prediction-driven keep-alive extension. Each variant disables one
- * mechanism and reruns the standard workload; the full configuration
- * should dominate or tie each ablated one on the combined objective.
+ * prediction-driven keep-alive extension. Each variant registers a
+ * configured IceBreaker factory under its own scheme name and the
+ * whole (variant x replicate) grid runs through the parallel
+ * ExperimentRunner; the full configuration should dominate or tie
+ * each ablated one on the combined objective.
  */
 
 #include <iostream>
+#include <memory>
 
 #include "bench/bench_util.hh"
 #include "core/icebreaker.hh"
-#include "sim/simulator.hh"
-
-namespace
-{
-
-using namespace iceb;
-
-struct Variant
-{
-    const char *name;
-    core::IceBreakerConfig config;
-};
-
-} // namespace
+#include "harness/registry.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    using namespace iceb;
+
+    const bench::BenchOptions options =
+        bench::parseBenchOptions(argc, argv);
     const harness::Workload workload = bench::standardWorkload(300, 600);
     const sim::ClusterConfig cluster =
         sim::defaultHeterogeneousCluster();
 
-    // Baseline for the improvement columns.
-    const auto base = harness::runScheme(harness::Scheme::OpenWhisk,
-                                         workload, cluster);
+    // Each variant is a registered scheme whose factory captures its
+    // configuration by value, so replicates are identically configured
+    // no matter which worker thread builds them.
+    std::vector<std::pair<const char *, core::IceBreakerConfig>> variants;
+    variants.push_back({"static cut-offs", {}});
+    variants.back().second.pdm.enable_dynamic_cutoffs = false;
+    variants.push_back({"no ping-pong guard", {}});
+    variants.back().second.pdm.enable_ping_pong_guard = false;
+    variants.push_back({"no large-memory guard", {}});
+    variants.back().second.pdm.enable_large_memory_guard = false;
+    variants.push_back({"unbiased instance counts", {}});
+    variants.back().second.count_deadband = 0.5; // plain rounding
+    variants.push_back({"no predicted-gap keep-alive", {}});
+    variants.back().second.keep_alive_horizon = 0; // boundary-only
+    variants.push_back({"3 harmonics instead of 10", {}});
+    variants.back().second.fip.harmonics = 3;
+    variants.push_back({"1-hour FIP window", {}});
+    variants.back().second.fip.window = 60;
 
-    std::vector<Variant> variants;
-    variants.push_back({"full IceBreaker", {}});
-    {
-        core::IceBreakerConfig config;
-        config.pdm.enable_dynamic_cutoffs = false;
-        variants.push_back({"static cut-offs", config});
-    }
-    {
-        core::IceBreakerConfig config;
-        config.pdm.enable_ping_pong_guard = false;
-        variants.push_back({"no ping-pong guard", config});
-    }
-    {
-        core::IceBreakerConfig config;
-        config.pdm.enable_large_memory_guard = false;
-        variants.push_back({"no large-memory guard", config});
-    }
-    {
-        core::IceBreakerConfig config;
-        config.count_deadband = 0.5; // plain rounding, no margin bias
-        variants.push_back({"unbiased instance counts", config});
-    }
-    {
-        core::IceBreakerConfig config;
-        config.keep_alive_horizon = 0; // boundary-only keep-alive
-        variants.push_back({"no predicted-gap keep-alive", config});
-    }
-    {
-        core::IceBreakerConfig config;
-        config.fip.harmonics = 3;
-        variants.push_back({"3 harmonics instead of 10", config});
-    }
-    {
-        core::IceBreakerConfig config;
-        config.fip.window = 60;
-        variants.push_back({"1-hour FIP window", config});
+    std::vector<bench::ComparisonScheme> schemes = {
+        {"openwhisk", "OpenWhisk"}, // baseline for the improvements
+        {"icebreaker", "full IceBreaker"},
+    };
+    std::vector<std::unique_ptr<harness::ScopedPolicyRegistration>>
+        registrations;
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const std::string key = "iceb-ablation-" + std::to_string(i);
+        const core::IceBreakerConfig config = variants[i].second;
+        registrations.push_back(
+            std::make_unique<harness::ScopedPolicyRegistration>(
+                key, [config] {
+                    return std::make_unique<core::IceBreakerPolicy>(
+                        config);
+                }));
+        schemes.push_back(
+            bench::ComparisonScheme{key, variants[i].first});
     }
 
-    TextTable table("IceBreaker ablations (improvements over the "
-                    "OpenWhisk baseline)");
-    table.setHeader({"variant", "ka impr.", "svc impr.", "warm"});
-    for (const auto &variant : variants) {
-        core::IceBreakerPolicy policy(variant.config);
-        const sim::SimulationMetrics m = sim::runSimulation(
-            workload.trace, workload.profiles, cluster, policy);
-        table.addRow({
-            variant.name,
-            TextTable::pct(harness::improvementOver(
-                base.metrics.totalKeepAliveCost(),
-                m.totalKeepAliveCost())),
-            TextTable::pct(harness::improvementOver(
-                base.metrics.meanServiceMs(), m.meanServiceMs())),
-            TextTable::pct(m.warmStartFraction()),
-        });
-    }
-    table.print(std::cout);
+    const std::vector<harness::SweepPoint> points = {{"", cluster}};
+    bench::runGridComparison(
+        "IceBreaker ablations (improvements over the OpenWhisk "
+        "baseline)",
+        "", workload, points, schemes, options);
 
     std::cout << "\nReading guide: each row disables one mechanism; "
                  "regressions against the\nfirst row show what that "

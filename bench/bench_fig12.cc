@@ -5,6 +5,10 @@
  * IceBreaker should lead everywhere; on the homogeneous high-end
  * endpoint the paper notes it trades keep-alive cost for service
  * time because that endpoint has the least memory.
+ *
+ * Runs the whole (scheme x composition x replicate) grid through the
+ * parallel ExperimentRunner; see --help for --threads / --seeds /
+ * --repeats.
  */
 
 #include <iostream>
@@ -12,44 +16,25 @@
 #include "bench/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace iceb;
 
+    const bench::BenchOptions options =
+        bench::parseBenchOptions(argc, argv);
     const harness::Workload workload = bench::sweepWorkload();
     std::cout << "workload: " << workload.trace.numFunctions()
               << " functions, " << workload.trace.totalInvocations()
               << " invocations per configuration\n\n";
 
-    TextTable table("Fig. 12: improvements over OpenWhisk across "
-                    "budget-constant compositions");
-    table.setHeader({"config", "scheme", "ka impr.", "svc impr.",
-                     "warm"});
-    for (const sim::ClusterConfig &cluster :
-         sim::budgetConstantSweep()) {
-        const std::vector<harness::SchemeResult> results =
-            harness::runAllSchemes(workload, cluster);
-        const auto &baseline = results.front().metrics;
-        bool first = true;
-        for (const auto &result : results) {
-            if (result.scheme == harness::Scheme::OpenWhisk)
-                continue;
-            table.addRow({
-                first ? cluster.name : "",
-                harness::schemeName(result.scheme),
-                TextTable::pct(harness::improvementOver(
-                    baseline.totalKeepAliveCost(),
-                    result.metrics.totalKeepAliveCost())),
-                TextTable::pct(harness::improvementOver(
-                    baseline.meanServiceMs(),
-                    result.metrics.meanServiceMs())),
-                TextTable::pct(result.metrics.warmStartFraction()),
-            });
-            first = false;
-        }
-        table.addRule();
-    }
-    table.print(std::cout);
+    std::vector<harness::SweepPoint> points;
+    for (const sim::ClusterConfig &cluster : sim::budgetConstantSweep())
+        points.push_back(harness::SweepPoint{cluster.name, cluster});
+
+    bench::runGridComparison(
+        "Fig. 12: improvements over OpenWhisk across budget-constant "
+        "compositions",
+        "config", workload, points, bench::paperSchemes(), options);
 
     std::cout << "\nShape check: IceBreaker leads in the "
                  "heterogeneous middle of the sweep;\nhomogeneous "

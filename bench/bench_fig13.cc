@@ -4,6 +4,10 @@
  * ratio. The paper sweeps ~1.23x (t3 vs t4g) to 2.4x; gains shrink
  * as the ratio approaches 1 (a homogeneous price point), where only
  * the prediction advantage remains.
+ *
+ * Runs the whole (scheme x ratio x replicate) grid through the
+ * parallel ExperimentRunner; see --help for --threads / --seeds /
+ * --repeats.
  */
 
 #include <iostream>
@@ -11,47 +15,31 @@
 #include "bench/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace iceb;
 
+    const bench::BenchOptions options =
+        bench::parseBenchOptions(argc, argv);
     const harness::Workload workload = bench::sweepWorkload();
 
-    TextTable table("Fig. 13: improvements over OpenWhisk across "
-                    "high/low cost ratios");
-    table.setHeader({"cost ratio", "cluster", "scheme", "ka impr.",
-                     "svc impr."});
+    std::vector<harness::SweepPoint> points;
     for (double ratio : {1.23, 1.5, 1.8, 2.4}) {
         const sim::ClusterConfig cluster =
             sim::clusterWithCostRatio(ratio);
-        const std::string shape =
+        const std::string label = TextTable::num(ratio, 2) + "  " +
             std::to_string(cluster.spec(Tier::HighEnd).server_count) +
             "H+" +
             std::to_string(cluster.spec(Tier::LowEnd).server_count) +
             "L";
-        const std::vector<harness::SchemeResult> results =
-            harness::runAllSchemes(workload, cluster);
-        const auto &baseline = results.front().metrics;
-        bool first = true;
-        for (const auto &result : results) {
-            if (result.scheme == harness::Scheme::OpenWhisk)
-                continue;
-            table.addRow({
-                first ? TextTable::num(ratio, 2) : "",
-                first ? shape : "",
-                harness::schemeName(result.scheme),
-                TextTable::pct(harness::improvementOver(
-                    baseline.totalKeepAliveCost(),
-                    result.metrics.totalKeepAliveCost())),
-                TextTable::pct(harness::improvementOver(
-                    baseline.meanServiceMs(),
-                    result.metrics.meanServiceMs())),
-            });
-            first = false;
-        }
-        table.addRule();
+        points.push_back(harness::SweepPoint{label, cluster});
     }
-    table.print(std::cout);
+
+    bench::runGridComparison(
+        "Fig. 13: improvements over OpenWhisk across high/low cost "
+        "ratios",
+        "ratio  cluster", workload, points, bench::paperSchemes(),
+        options, /*show_warm=*/false);
 
     std::cout << "\nShape check: IceBreaker outperforms the "
                  "competition at every ratio, with\nlarger keep-alive "

@@ -30,13 +30,14 @@ cohortKeepAlive(const sim::SimulationMetrics &metrics,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const harness::Workload workload = bench::standardWorkload();
     const sim::ClusterConfig cluster =
         sim::defaultHeterogeneousCluster();
     const std::vector<harness::SchemeResult> results =
-        harness::runAllSchemes(workload, cluster);
+        bench::runSchemesParallel(
+            workload, cluster, bench::parseBenchOptions(argc, argv));
     const sim::SimulationMetrics &baseline = results.front().metrics;
 
     const harness::Cohorts cohorts =

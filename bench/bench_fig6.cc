@@ -10,10 +10,12 @@
 #include "bench/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace iceb;
 
+    const bench::BenchOptions options =
+        bench::parseBenchOptions(argc, argv);
     const harness::Workload workload = bench::standardWorkload();
     const sim::ClusterConfig cluster =
         sim::defaultHeterogeneousCluster();
@@ -21,22 +23,23 @@ main()
               << " functions, " << workload.trace.totalInvocations()
               << " invocations, cluster " << cluster.name << "\n\n";
 
-    const std::vector<harness::SchemeResult> results =
-        harness::runAllSchemes(workload, cluster);
+    const std::vector<harness::SchemeSummary> results =
+        bench::compareSchemes(workload, cluster, options);
     bench::printSchemeComparison(
         "Fig. 6: keep-alive cost (a) and service time (b) vs the "
         "OpenWhisk baseline",
         results);
 
-    // Sec. 5 text: median and 95th-percentile improvements.
+    // Sec. 5 text: median and 95th-percentile improvements, over the
+    // replicate-pooled service-time samples.
     const harness::ServiceSummary base =
-        harness::summarizeService(results.front().metrics);
+        harness::summarizeService(results.front().summary.pooled);
     TextTable tail("Sec. 5: median and tail (p95) service-time "
                    "improvements over baseline");
     tail.setHeader({"scheme", "median impr.", "p95 impr."});
     for (const auto &result : results) {
         const harness::ServiceSummary s =
-            harness::summarizeService(result.metrics);
+            harness::summarizeService(result.summary.pooled);
         tail.addRow({
             harness::schemeName(result.scheme),
             TextTable::pct(harness::improvementOver(base.median_ms,

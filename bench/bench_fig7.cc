@@ -14,15 +14,17 @@
 #include "math/stats.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace iceb;
 
+    const bench::BenchOptions options =
+        bench::parseBenchOptions(argc, argv);
     const harness::Workload workload = bench::standardWorkload();
     const sim::ClusterConfig cluster =
         sim::defaultHeterogeneousCluster();
     const std::vector<harness::SchemeResult> results =
-        harness::runAllSchemes(workload, cluster);
+        bench::runSchemesParallel(workload, cluster, options);
     const sim::SimulationMetrics &baseline = results.front().metrics;
 
     TextTable cdf("Fig. 7: per-function service-time improvement "

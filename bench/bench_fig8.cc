@@ -12,15 +12,17 @@
 #include "bench/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace iceb;
 
+    const bench::BenchOptions options =
+        bench::parseBenchOptions(argc, argv);
     const harness::Workload workload = bench::standardWorkload();
     const sim::ClusterConfig cluster =
         sim::defaultHeterogeneousCluster();
     const std::vector<harness::SchemeResult> results =
-        harness::runAllSchemes(workload, cluster);
+        bench::runSchemesParallel(workload, cluster, options);
 
     TextTable table("Fig. 8: mean service-time components per scheme "
                     "(ms)");

@@ -11,15 +11,17 @@
 #include "bench/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace iceb;
 
+    const bench::BenchOptions options =
+        bench::parseBenchOptions(argc, argv);
     const harness::Workload workload = bench::standardWorkload();
     const sim::ClusterConfig cluster =
         sim::defaultHeterogeneousCluster();
     const std::vector<harness::SchemeResult> results =
-        harness::runAllSchemes(workload, cluster);
+        bench::runSchemesParallel(workload, cluster, options);
 
     for (Tier tier : {Tier::HighEnd, Tier::LowEnd}) {
         TextTable table(std::string("Fig. 9: warm-up cost on the ") +

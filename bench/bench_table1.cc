@@ -9,15 +9,21 @@
 
 #include <iostream>
 
+#include "bench/bench_util.hh"
 #include "common/table.hh"
 #include "common/units.hh"
 #include "workload/benchmark_suite.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace iceb;
     using namespace iceb::workload;
+
+    // Accepts the standard bench CLI for suite uniformity; the table
+    // itself is closed-form over the profile pool (no simulation), so
+    // --threads/--repeats do not change its output.
+    (void)bench::parseBenchOptions(argc, argv);
 
     const std::vector<FunctionProfile> fns = {
         table1FunctionA(), table1FunctionB(), table1FunctionC()};

@@ -1,21 +1,26 @@
 /**
  * @file
  * Writing your own warm-up policy against the public Policy
- * interface, and racing it against IceBreaker and the baselines.
+ * interface, registering it as a scheme, and racing it against
+ * IceBreaker and the baselines through the parallel runner.
  *
  * The example policy is deliberately simple -- "warm a function for
  * the next interval whenever it was invoked in the previous one,
  * high-end first" -- and is a useful template: override a handful of
- * virtuals, and the simulator handles containers, memory, eviction
- * and accounting.
+ * virtuals, register a factory, and the simulator handles containers,
+ * memory, eviction and accounting while the ExperimentRunner handles
+ * scheduling and seeding.
  */
 
 #include <iostream>
+#include <memory>
 
 #include "common/table.hh"
 #include "common/units.hh"
 #include "harness/experiment.hh"
+#include "harness/registry.hh"
 #include "harness/report.hh"
+#include "harness/runner.hh"
 #include "policies/policy_util.hh"
 #include "sim/simulator.hh"
 
@@ -79,23 +84,35 @@ main()
     const sim::ClusterConfig cluster =
         sim::defaultHeterogeneousCluster();
 
-    // The standard five schemes...
-    std::vector<harness::SchemeResult> results =
-        harness::runAllSchemes(workload, cluster);
+    // Register the custom scheme: from here on "echo" is a first-class
+    // citizen of the registry, usable in any runner grid.
+    const harness::ScopedPolicyRegistration echo_registration(
+        "echo", [] { return std::make_unique<EchoPolicy>(); });
 
-    // ...plus ours, run through the same simulator entry point.
-    EchoPolicy echo;
-    const sim::SimulationMetrics echo_metrics = sim::runSimulation(
-        workload.trace, workload.profiles, cluster, echo);
+    // The standard five schemes plus ours, as one grid through the
+    // parallel runner (one thread per scheme, hardware permitting).
+    std::vector<std::string> keys;
+    std::vector<std::string> labels;
+    for (harness::Scheme scheme : harness::allSchemes()) {
+        keys.push_back(harness::schemeKey(scheme));
+        labels.push_back(harness::schemeName(scheme));
+    }
+    keys.push_back("echo");
+    labels.push_back("echo (this example)");
+
+    const std::vector<harness::SweepPoint> points = {{"", cluster}};
+    const std::vector<harness::RunResult> results =
+        harness::ExperimentRunner().run(
+            harness::buildGrid(keys, workload, points));
 
     const sim::SimulationMetrics &baseline = results.front().metrics;
     TextTable table("Custom policy vs the standard schemes");
     table.setHeader({"scheme", "keep-alive $", "ka impr.",
                      "svc (ms)", "svc impr.", "warm"});
-    auto add_row = [&](const char *name,
-                       const sim::SimulationMetrics &m) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const sim::SimulationMetrics &m = results[i].metrics;
         table.addRow({
-            name,
+            labels[i],
             TextTable::num(m.totalKeepAliveCost(), 3),
             TextTable::pct(harness::improvementOver(
                 baseline.totalKeepAliveCost(),
@@ -105,10 +122,7 @@ main()
                 baseline.meanServiceMs(), m.meanServiceMs())),
             TextTable::pct(m.warmStartFraction()),
         });
-    };
-    for (const auto &result : results)
-        add_row(harness::schemeName(result.scheme), result.metrics);
-    add_row("echo (this example)", echo_metrics);
+    }
     table.print(std::cout);
 
     std::cout << "\nThe echo policy warms whatever just ran -- decent "

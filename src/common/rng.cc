@@ -28,6 +28,16 @@ splitMix64(std::uint64_t &state)
     return z ^ (z >> 31);
 }
 
+std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t stream)
+{
+    // Two SplitMix64 rounds over a golden-ratio-spread combination;
+    // adjacent streams land in unrelated regions of the seed space.
+    std::uint64_t mixer = base ^ (0x9E3779B97F4A7C15ull * (stream + 1));
+    splitMix64(mixer);
+    return splitMix64(mixer);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t sm = seed;

@@ -25,6 +25,17 @@ namespace iceb
 std::uint64_t splitMix64(std::uint64_t &state);
 
 /**
+ * Derive an independent 64-bit seed from a (base, stream) pair.
+ *
+ * Used to give every run of an experiment grid its own decorrelated
+ * RNG stream from one user-facing base seed: run i of a repeated
+ * experiment seeds its simulator with deriveSeed(base, i). The
+ * mapping is pure, so a run's stream depends only on (base, stream)
+ * and never on which thread executes it or in what order.
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t stream);
+
+/**
  * xoshiro256** generator with convenience distributions. All
  * distributions are implemented from first principles so results are
  * stable across standard libraries.

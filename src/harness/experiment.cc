@@ -1,11 +1,7 @@
 #include "harness/experiment.hh"
 
 #include "common/logging.hh"
-#include "core/icebreaker.hh"
-#include "policies/faascache_policy.hh"
-#include "policies/openwhisk_policy.hh"
-#include "policies/oracle_policy.hh"
-#include "policies/wild_policy.hh"
+#include "harness/registry.hh"
 
 namespace iceb::harness
 {
@@ -35,22 +31,28 @@ schemeName(Scheme scheme)
     return "invalid";
 }
 
-std::unique_ptr<sim::Policy>
-makePolicy(Scheme scheme)
+const char *
+schemeKey(Scheme scheme)
 {
     switch (scheme) {
       case Scheme::OpenWhisk:
-        return std::make_unique<policies::OpenWhiskPolicy>();
+        return "openwhisk";
       case Scheme::Wild:
-        return std::make_unique<policies::WildPolicy>();
+        return "wild";
       case Scheme::FaasCache:
-        return std::make_unique<policies::FaasCachePolicy>();
+        return "faascache";
       case Scheme::IceBreaker:
-        return std::make_unique<core::IceBreakerPolicy>();
+        return "icebreaker";
       case Scheme::Oracle:
-        return std::make_unique<policies::OraclePolicy>();
+        return "oracle";
     }
     panic("unknown scheme");
+}
+
+std::unique_ptr<sim::Policy>
+makePolicy(Scheme scheme)
+{
+    return makePolicyByName(schemeKey(scheme));
 }
 
 Workload

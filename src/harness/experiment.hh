@@ -36,7 +36,13 @@ std::vector<Scheme> allSchemes();
 /** Scheme display name. */
 const char *schemeName(Scheme scheme);
 
-/** Instantiate a fresh policy object for a scheme. */
+/** Registry key of a built-in scheme ("openwhisk", "wild", ...). */
+const char *schemeKey(Scheme scheme);
+
+/**
+ * Instantiate a fresh policy object for a scheme (through the
+ * PolicyRegistry; see harness/registry.hh for custom schemes).
+ */
 std::unique_ptr<sim::Policy> makePolicy(Scheme scheme);
 
 /** A reusable experiment input: trace + matched profiles. */

@@ -1,0 +1,144 @@
+#include "harness/runner.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "common/logging.hh"
+#include "harness/registry.hh"
+
+namespace iceb::harness
+{
+
+ExperimentRunner::ExperimentRunner(std::size_t threads)
+    : threads_(threads)
+{
+    if (threads_ == 0) {
+        threads_ = std::thread::hardware_concurrency();
+        if (threads_ == 0)
+            threads_ = 1;
+    }
+}
+
+std::vector<RunResult>
+ExperimentRunner::run(const std::vector<RunSpec> &grid) const
+{
+    // Fail on malformed specs before any worker starts, so errors
+    // surface as a clean fatal() on the calling thread.
+    const PolicyRegistry &registry = PolicyRegistry::instance();
+    for (const RunSpec &spec : grid) {
+        if (spec.workload == nullptr)
+            fatal("RunSpec '", spec.scheme, "' has no workload");
+        if (!registry.contains(spec.scheme))
+            fatal("RunSpec names unknown policy '", spec.scheme, "'");
+    }
+
+    std::vector<RunResult> results(grid.size());
+    std::atomic<std::size_t> next{0};
+
+    const auto worker = [&grid, &results, &next, &registry] {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= grid.size())
+                return;
+            const RunSpec &spec = grid[i];
+            const std::unique_ptr<sim::Policy> policy =
+                registry.make(spec.scheme);
+            results[i].spec = spec;
+            results[i].metrics = sim::runSimulation(
+                spec.workload->trace, spec.workload->profiles,
+                spec.cluster, *policy,
+                sim::SimulatorOptions::forRun(spec.base_seed,
+                                              spec.run_index));
+        }
+    };
+
+    const std::size_t workers = std::min(threads_, grid.size());
+    if (workers <= 1) {
+        worker();
+        return results;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+std::vector<RunSpec>
+buildGrid(const std::vector<std::string> &schemes,
+          const Workload &workload, const std::vector<SweepPoint> &points,
+          std::uint64_t base_seed, std::size_t repeats)
+{
+    ICEB_ASSERT(repeats > 0, "a grid needs at least one replicate");
+    std::vector<RunSpec> grid;
+    grid.reserve(points.size() * schemes.size() * repeats);
+    for (const SweepPoint &point : points) {
+        for (const std::string &scheme : schemes) {
+            for (std::size_t r = 0; r < repeats; ++r) {
+                RunSpec spec;
+                spec.scheme = scheme;
+                spec.workload = &workload;
+                spec.cluster = point.cluster;
+                spec.base_seed = base_seed;
+                spec.run_index = static_cast<std::uint32_t>(r);
+                spec.label = point.label;
+                grid.push_back(std::move(spec));
+            }
+        }
+    }
+    return grid;
+}
+
+std::vector<CellSummary>
+summarizeGrid(const std::vector<RunResult> &results)
+{
+    std::vector<CellSummary> cells;
+    std::size_t i = 0;
+    while (i < results.size()) {
+        const RunSpec &head = results[i].spec;
+        std::vector<sim::SimulationMetrics> replicates;
+        while (i < results.size() &&
+               results[i].spec.label == head.label &&
+               results[i].spec.scheme == head.scheme) {
+            replicates.push_back(results[i].metrics);
+            ++i;
+        }
+        CellSummary cell;
+        cell.label = head.label;
+        cell.scheme = head.scheme;
+        cell.summary = sim::summarizeRuns(replicates);
+        cells.push_back(std::move(cell));
+    }
+    return cells;
+}
+
+std::vector<SchemeSummary>
+runAllSchemesParallel(const Workload &workload,
+                      const sim::ClusterConfig &cluster,
+                      const RunnerOptions &options)
+{
+    std::vector<std::string> schemes;
+    for (Scheme scheme : allSchemes())
+        schemes.push_back(schemeKey(scheme));
+
+    const std::vector<SweepPoint> points = {{"", cluster}};
+    const std::vector<RunSpec> grid = buildGrid(
+        schemes, workload, points, options.base_seed, options.repeats);
+    const std::vector<RunResult> results =
+        ExperimentRunner(options.threads).run(grid);
+    const std::vector<CellSummary> cells = summarizeGrid(results);
+    ICEB_ASSERT(cells.size() == schemes.size(),
+                "scheme comparison produced an unexpected cell count");
+
+    std::vector<SchemeSummary> summaries;
+    summaries.reserve(cells.size());
+    const std::vector<Scheme> order = allSchemes();
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        summaries.push_back(SchemeSummary{order[i], cells[i].summary});
+    return summaries;
+}
+
+} // namespace iceb::harness

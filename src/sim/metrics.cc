@@ -6,6 +6,55 @@
 namespace iceb::sim
 {
 
+void
+SimulationMetrics::merge(const SimulationMetrics &other)
+{
+    ICEB_ASSERT(per_function.size() == other.per_function.size(),
+                "merging metrics over different function sets");
+
+    invocations += other.invocations;
+    cold_starts += other.cold_starts;
+    warm_starts += other.warm_starts;
+    cold_no_container += other.cold_no_container;
+    cold_all_busy += other.cold_all_busy;
+    cold_setup_attach += other.cold_setup_attach;
+
+    sum_service_ms += other.sum_service_ms;
+    sum_wait_ms += other.sum_wait_ms;
+    sum_cold_ms += other.sum_cold_ms;
+    sum_exec_ms += other.sum_exec_ms;
+    sum_overhead_ms += other.sum_overhead_ms;
+
+    service_times_ms.insert(service_times_ms.end(),
+                            other.service_times_ms.begin(),
+                            other.service_times_ms.end());
+    service_times_high_ms.insert(service_times_high_ms.end(),
+                                 other.service_times_high_ms.begin(),
+                                 other.service_times_high_ms.end());
+    service_times_low_ms.insert(service_times_low_ms.end(),
+                                other.service_times_low_ms.begin(),
+                                other.service_times_low_ms.end());
+
+    for (std::size_t fn = 0; fn < per_function.size(); ++fn) {
+        FunctionMetrics &mine = per_function[fn];
+        const FunctionMetrics &theirs = other.per_function[fn];
+        mine.invocations += theirs.invocations;
+        mine.cold_starts += theirs.cold_starts;
+        mine.warm_starts += theirs.warm_starts;
+        mine.sum_service_ms += theirs.sum_service_ms;
+        mine.sum_wait_ms += theirs.sum_wait_ms;
+        mine.sum_cold_ms += theirs.sum_cold_ms;
+        mine.sum_exec_ms += theirs.sum_exec_ms;
+        mine.keep_alive_cost += theirs.keep_alive_cost;
+    }
+
+    for (std::size_t t = 0; t < kNumTiers; ++t) {
+        keep_alive[t].successful_cost += other.keep_alive[t].successful_cost;
+        keep_alive[t].wasteful_cost += other.keep_alive[t].wasteful_cost;
+        keep_alive[t].wasted_mb_ms += other.keep_alive[t].wasted_mb_ms;
+    }
+}
+
 MetricsCollector::MetricsCollector(std::size_t num_functions)
 {
     metrics_.per_function.resize(num_functions);

@@ -141,6 +141,16 @@ struct SimulationMetrics
     {
         return keep_alive[static_cast<std::size_t>(tierIndex(tier))];
     }
+
+    /**
+     * Fold another run's metrics into this one. Counts and sums add,
+     * service-time samples concatenate (percentile pooling), and
+     * per-function aggregates add entrywise; both runs must therefore
+     * cover the same function set. Merging the per-run metrics of a
+     * partitioned invocation set yields exactly the metrics of
+     * collecting the whole set at once.
+     */
+    void merge(const SimulationMetrics &other);
 };
 
 /**

@@ -1,0 +1,69 @@
+#include "sim/metrics_summary.hh"
+
+#include "math/stats.hh"
+
+namespace iceb::sim
+{
+
+ValueStats
+ValueStats::of(const std::vector<double> &values)
+{
+    ValueStats stats;
+    stats.count = values.size();
+    if (values.empty())
+        return stats;
+    stats.mean = math::mean(values);
+    stats.stddev = math::stddev(values);
+    stats.min = math::minValue(values);
+    stats.max = math::maxValue(values);
+    return stats;
+}
+
+double
+MetricsSummary::pooledServicePercentileMs(double q) const
+{
+    std::vector<double> samples(pooled.service_times_ms.begin(),
+                                pooled.service_times_ms.end());
+    return math::percentile(samples, q);
+}
+
+MetricsSummary
+summarizeRuns(const std::vector<SimulationMetrics> &runs)
+{
+    MetricsSummary summary;
+    summary.runs = runs.size();
+    if (runs.empty())
+        return summary;
+
+    const auto gather = [&runs](auto &&extract) {
+        std::vector<double> values;
+        values.reserve(runs.size());
+        for (const SimulationMetrics &run : runs)
+            values.push_back(extract(run));
+        return ValueStats::of(values);
+    };
+
+    summary.keep_alive_cost = gather(
+        [](const SimulationMetrics &m) { return m.totalKeepAliveCost(); });
+    summary.mean_service_ms = gather(
+        [](const SimulationMetrics &m) { return m.meanServiceMs(); });
+    summary.mean_wait_ms = gather(
+        [](const SimulationMetrics &m) { return m.meanWaitMs(); });
+    summary.mean_cold_ms = gather(
+        [](const SimulationMetrics &m) { return m.meanColdMs(); });
+    summary.warm_start_fraction = gather(
+        [](const SimulationMetrics &m) { return m.warmStartFraction(); });
+    summary.cold_starts = gather([](const SimulationMetrics &m) {
+        return static_cast<double>(m.cold_starts);
+    });
+    summary.invocations = gather([](const SimulationMetrics &m) {
+        return static_cast<double>(m.invocations);
+    });
+
+    summary.pooled = runs.front();
+    for (std::size_t i = 1; i < runs.size(); ++i)
+        summary.pooled.merge(runs[i]);
+    return summary;
+}
+
+} // namespace iceb::sim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Aggregation of repeated-seed runs into confidence-interval-ready
+ * summaries.
+ *
+ * A MetricsSummary folds N runs of the same (workload, scheme,
+ * cluster) cell — differing only in their derived RNG stream — into
+ * per-metric mean/stddev statistics plus a pooled SimulationMetrics
+ * whose concatenated service-time samples give percentile pooling
+ * across the whole replicate set. Summaries are computed in run-index
+ * order, so the result is bit-identical however the runs were
+ * scheduled.
+ */
+
+#ifndef ICEB_SIM_METRICS_SUMMARY_HH
+#define ICEB_SIM_METRICS_SUMMARY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/metrics.hh"
+
+namespace iceb::sim
+{
+
+/** Mean/spread of one scalar metric across replicate runs. */
+struct ValueStats
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0; //!< population stddev; 0 for < 2 runs
+    double min = 0.0;
+    double max = 0.0;
+
+    /** Compute over a replicate vector (empty input -> all zeros). */
+    static ValueStats of(const std::vector<double> &values);
+};
+
+/** N replicate runs of one experiment cell, aggregated. */
+struct MetricsSummary
+{
+    std::size_t runs = 0;
+
+    ValueStats keep_alive_cost;    //!< totalKeepAliveCost() per run
+    ValueStats mean_service_ms;    //!< meanServiceMs() per run
+    ValueStats mean_wait_ms;       //!< meanWaitMs() per run
+    ValueStats mean_cold_ms;       //!< meanColdMs() per run
+    ValueStats warm_start_fraction;//!< warmStartFraction() per run
+    ValueStats cold_starts;        //!< cold_starts per run
+    ValueStats invocations;        //!< invocations per run
+
+    /**
+     * All runs merged (SimulationMetrics::merge in run order): counts
+     * and sums over the whole replicate set, with every run's
+     * service-time samples pooled for percentile queries.
+     */
+    SimulationMetrics pooled;
+
+    /** Percentile (q in [0, 1]) over the pooled service times. */
+    double pooledServicePercentileMs(double q) const;
+};
+
+/**
+ * Aggregate replicate runs of one cell. All runs must cover the same
+ * function set (they are replicates of one workload).
+ */
+MetricsSummary summarizeRuns(const std::vector<SimulationMetrics> &runs);
+
+} // namespace iceb::sim
+
+#endif // ICEB_SIM_METRICS_SUMMARY_HH

@@ -8,6 +8,14 @@
 namespace iceb::sim
 {
 
+SimulatorOptions
+SimulatorOptions::forRun(std::uint64_t base_seed, std::uint64_t run_index)
+{
+    SimulatorOptions options;
+    options.seed = deriveSeed(base_seed, run_index);
+    return options;
+}
+
 Simulator::Simulator(
     const trace::Trace &tr,
     const std::vector<workload::FunctionProfile> &profiles,

@@ -30,6 +30,17 @@ struct SimulatorOptions
 {
     /** Seed for the deterministic within-interval arrival jitter. */
     std::uint64_t seed = 0x51AB'1CEBull;
+
+    /**
+     * Options for run @p run_index of a repeated-seed experiment: the
+     * run's RNG stream is derived purely from (base_seed, run_index),
+     * so a grid of runs is reproducible regardless of how runs are
+     * scheduled across threads. forRun(base, 0) reseeds with the
+     * derived stream too (it is not the same as seed = base), so a
+     * repeated grid is internally consistent from index 0 up.
+     */
+    static SimulatorOptions forRun(std::uint64_t base_seed,
+                                   std::uint64_t run_index);
 };
 
 /**
