@@ -74,13 +74,15 @@ IceBreakerPolicy::onIntervalStart(IntervalIndex interval,
                         vacant_frac(Tier::LowEnd));
 
     // 3. Predict and collect candidates.
-    std::vector<UtilityComponents> candidates;
-    std::vector<std::size_t> counts;
+    std::vector<UtilityComponents> &candidates = candidates_;
+    std::vector<std::size_t> &counts = counts_;
+    candidates.clear();
+    counts.clear();
     for (FunctionId fn = 0; fn < functions_.size(); ++fn) {
         FunctionState &state = functions_[fn];
-        const std::vector<double> horizon =
-            state.predictor.forecastHorizon(
-                config_.keep_alive_horizon + 1);
+        std::vector<double> &horizon = horizon_scratch_;
+        state.predictor.forecastHorizon(config_.keep_alive_horizon + 1,
+                                        horizon);
         const double prediction = horizon.front();
         // The next interval beyond this one with predicted activity
         // drives post-execution keep-alive durations.
@@ -123,8 +125,10 @@ IceBreakerPolicy::onIntervalStart(IntervalIndex interval,
         return;
 
     // 4./5. Score, decide, and warm highest-utility functions first.
-    std::vector<UtilityScore> scores = computeUtilityScores(candidates);
-    std::vector<std::size_t> order(scores.size());
+    std::vector<UtilityScore> &scores = scores_;
+    computeUtilityScores(candidates, scores);
+    std::vector<std::size_t> &order = order_;
+    order.resize(scores.size());
     for (std::size_t i = 0; i < order.size(); ++i)
         order[i] = i;
     std::sort(order.begin(), order.end(),

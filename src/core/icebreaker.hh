@@ -121,6 +121,16 @@ class IceBreakerPolicy : public sim::Policy
     IceBreakerConfig config_;
     std::vector<FunctionState> functions_;
     std::unique_ptr<Pdm> pdm_;
+
+    // Per-interval scratch, hoisted out of onIntervalStart so the
+    // decision loop stops re-allocating these for every interval of
+    // every scheme run. Contents are rebuilt from scratch each
+    // interval; only the capacity persists.
+    std::vector<double> horizon_scratch_;
+    std::vector<UtilityComponents> candidates_;
+    std::vector<std::size_t> counts_;
+    std::vector<UtilityScore> scores_;
+    std::vector<std::size_t> order_;
 };
 
 } // namespace iceb::core

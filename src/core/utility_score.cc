@@ -9,9 +9,18 @@ std::vector<UtilityScore>
 computeUtilityScores(const std::vector<UtilityComponents> &candidates)
 {
     std::vector<UtilityScore> scores;
+    computeUtilityScores(candidates, scores);
+    return scores;
+}
+
+void
+computeUtilityScores(const std::vector<UtilityComponents> &candidates,
+                     std::vector<UtilityScore> &scores)
+{
+    scores.clear();
     scores.reserve(candidates.size());
     if (candidates.empty())
-        return scores;
+        return;
 
     const std::size_t n = candidates.size();
     std::vector<double> tn(n), fp(n), is(n), mr(n);
@@ -33,7 +42,6 @@ computeUtilityScores(const std::vector<UtilityComponents> &candidates)
             (tn[i] + (1.0 - fp[i]) + (1.0 - is[i]) + (1.0 - mr[i])) / 4.0;
         scores.push_back(s);
     }
-    return scores;
 }
 
 } // namespace iceb::core

@@ -55,6 +55,14 @@ struct UtilityScore
 std::vector<UtilityScore>
 computeUtilityScores(const std::vector<UtilityComponents> &candidates);
 
+/**
+ * As above, writing into a caller-owned vector (cleared first) so
+ * per-interval callers can reuse one buffer instead of allocating a
+ * fresh result every scoring round.
+ */
+void computeUtilityScores(const std::vector<UtilityComponents> &candidates,
+                          std::vector<UtilityScore> &out);
+
 } // namespace iceb::core
 
 #endif // ICEB_CORE_UTILITY_SCORE_HH

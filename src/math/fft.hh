@@ -6,12 +6,31 @@
  * Bluestein's chirp-z algorithm for arbitrary lengths so callers never
  * need to pad (padding would shift harmonic frequencies, which matters
  * for IceBreaker's FIP).
+ *
+ * Two tiers of API:
+ *
+ *  - Plain functions (fft/ifft/fftReal): allocate their result, fine
+ *    for tests and one-off analysis.
+ *  - FftPlan + FftScratch: a transform plan cached per length that
+ *    precomputes bit-reversal permutations, twiddle tables and (for
+ *    non-power-of-two lengths) the Bluestein chirp and its
+ *    pre-transformed convolution kernel. With a caller-owned
+ *    FftScratch, steady-state transforms perform zero heap
+ *    allocations. Plan transforms execute the exact operation
+ *    sequence of the plain functions, so their results are
+ *    bit-identical (enforced by a golden test over lengths 1-64).
+ *
+ * SlidingDft maintains the spectrum of a fixed-length window
+ * incrementally: O(1) work per retained bin per new sample, with a
+ * full-FFT resync available to bound floating-point drift.
  */
 
 #ifndef ICEB_MATH_FFT_HH
 #define ICEB_MATH_FFT_HH
 
 #include <complex>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace iceb::math
@@ -41,7 +60,12 @@ std::vector<Complex> fft(const std::vector<Complex> &data);
 /** Inverse DFT of an arbitrary-length complex spectrum. */
 std::vector<Complex> ifft(const std::vector<Complex> &data);
 
-/** Forward DFT of a real signal (convenience wrapper). */
+/**
+ * Forward DFT of a real signal. For even lengths the samples are
+ * packed into an N/2-point complex transform (half the work of the
+ * generic path); odd lengths fall back to the complex transform.
+ * Served by the process-wide plan cache.
+ */
 std::vector<Complex> fftReal(const std::vector<double> &data);
 
 /**
@@ -49,6 +73,140 @@ std::vector<Complex> fftReal(const std::vector<double> &data);
  * property-tested against; never used on hot paths.
  */
 std::vector<Complex> dftDirect(const std::vector<Complex> &data);
+
+/**
+ * Caller-owned scratch for plan-based transforms. Buffers grow to the
+ * plan's working-set size on first use and are reused afterwards, so
+ * steady-state transforms allocate nothing. A scratch may be shared
+ * across plans of different lengths (it simply keeps the largest
+ * size seen).
+ */
+struct FftScratch
+{
+    std::vector<Complex> work;   //!< Bluestein convolution buffer
+    std::vector<Complex> packed; //!< real-input packing buffer
+};
+
+/**
+ * Precomputed transform plan for one length.
+ *
+ * Holds the bit-reversal permutation and per-stage twiddle tables of
+ * the radix-2 kernel (generated with the same recurrence the plain
+ * functions use, so plan transforms are bit-identical to them), plus
+ * - for non-power-of-two lengths - the Bluestein chirp vectors and
+ * the forward transform of the convolution kernel b, for both
+ * transform directions.
+ *
+ * Plans are immutable after construction and safe to share across
+ * threads; all mutable state lives in the caller's FftScratch.
+ */
+class FftPlan
+{
+  public:
+    /** Build a plan for length @p n (n >= 1). */
+    explicit FftPlan(std::size_t n);
+
+    /** Transform length. */
+    std::size_t size() const { return n_; }
+
+    /**
+     * Forward DFT: reads n complex values from @p in, writes n to
+     * @p out. in == out is allowed.
+     */
+    void forward(const Complex *in, Complex *out,
+                 FftScratch &scratch) const;
+
+    /** Inverse DFT (1/n scaled); in == out is allowed. */
+    void inverse(const Complex *in, Complex *out,
+                 FftScratch &scratch) const;
+
+    /**
+     * Forward DFT of n real samples (the fftReal fast path): even
+     * lengths run one n/2-point complex transform plus an O(n)
+     * unpacking pass; odd lengths fall back to forward().
+     */
+    void forwardReal(const double *in, Complex *out,
+                     FftScratch &scratch) const;
+
+  private:
+    FftPlan(std::size_t n, bool build_real_path);
+
+    void buildPow2Tables();
+    void buildBluestein();
+    /** Radix-2 kernel over pow2_len_ points using the plan tables. */
+    void pow2InPlace(Complex *data, bool inverse) const;
+
+    std::size_t n_;
+    bool is_pow2_;
+    std::size_t pow2_len_; //!< n_ when power of two, else Bluestein m
+    std::vector<std::uint32_t> bitrev_;
+    std::vector<Complex> tw_fwd_; //!< concatenated per-stage twiddles
+    std::vector<Complex> tw_inv_;
+    std::vector<Complex> chirp_fwd_;
+    std::vector<Complex> chirp_inv_;
+    std::vector<Complex> bfft_fwd_; //!< FFT of the Bluestein kernel b
+    std::vector<Complex> bfft_inv_;
+    std::unique_ptr<const FftPlan> half_; //!< n/2 plan (real path)
+    std::vector<Complex> real_tw_; //!< exp(-2*pi*i*k/n), k < n/2
+};
+
+/**
+ * Fetch (building on first use) the shared plan for length @p n from
+ * the process-wide cache. Thread-safe; hot paths should hold on to
+ * the returned pointer rather than re-looking it up per transform.
+ */
+std::shared_ptr<const FftPlan> fftPlanFor(std::size_t n);
+
+/**
+ * Sliding DFT of a fixed-length real window, retaining bins
+ * 0..n/2 (a real window's upper bins are conjugate mirrors).
+ *
+ * After a resync() from the full window, each slide() updates every
+ * retained bin in O(1):
+ *
+ *   S_k <- (S_k - oldest + newest) * exp(+2*pi*i*k/n)
+ *
+ * Rotation error accumulates at ~1 ulp per slide, so callers resync
+ * periodically (IceBreaker's FIP does so every resync_every
+ * intervals) to stay within 1e-6 of the full recompute.
+ */
+class SlidingDft
+{
+  public:
+    SlidingDft() = default;
+
+    /** Prepare for windows of length @p n (spectrum starts invalid). */
+    explicit SlidingDft(std::size_t n);
+
+    /** Window length (0 when default-constructed). */
+    std::size_t windowLength() const { return n_; }
+
+    /** True when bins() reflects the current window. */
+    bool valid() const { return valid_; }
+
+    /** Drop the tracked spectrum (next use must resync). */
+    void invalidate() { valid_ = false; }
+
+    /**
+     * Full recompute from @p window (n samples, oldest first) through
+     * the plan cache; zero allocations after the first call.
+     */
+    void resync(const double *window, std::size_t n, FftScratch &scratch);
+
+    /** O(1)-per-bin update: @p oldest leaves the window, @p newest enters. */
+    void slide(double oldest, double newest);
+
+    /** Retained spectrum, bins 0..n/2. Valid only after a resync. */
+    const std::vector<Complex> &bins() const { return bins_; }
+
+  private:
+    std::size_t n_ = 0;
+    std::shared_ptr<const FftPlan> plan_;
+    std::vector<Complex> rot_;  //!< exp(+2*pi*i*k/n) per retained bin
+    std::vector<Complex> bins_;
+    std::vector<Complex> full_; //!< resync spectrum scratch
+    bool valid_ = false;
+};
 
 } // namespace iceb::math
 

@@ -1,5 +1,6 @@
 #include "math/matrix.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -88,6 +89,58 @@ Matrix::transposed() const
     return out;
 }
 
+void
+solveLinearSystemInPlace(std::vector<double> &aug, std::size_t n,
+                         std::vector<double> &x, bool *singular)
+{
+    const std::size_t stride = n + 1;
+    ICEB_ASSERT(aug.size() == n * stride, "augmented system shape mismatch");
+    if (singular)
+        *singular = false;
+    double *work = aug.data();
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting: largest absolute value in this column.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::fabs(work[r * stride + col]) >
+                std::fabs(work[pivot * stride + col]))
+                pivot = r;
+        if (std::fabs(work[pivot * stride + col]) < 1e-12) {
+            if (singular) {
+                *singular = true;
+                x.assign(n, 0.0);
+                return;
+            }
+            panic("singular system in solveLinearSystem");
+        }
+        if (pivot != col) {
+            std::swap_ranges(work + col * stride,
+                             work + (col + 1) * stride,
+                             work + pivot * stride);
+        }
+
+        const double *prow = work + col * stride;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            double *row = work + r * stride;
+            const double factor = row[col] / prow[col];
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = col; c <= n; ++c)
+                row[c] -= factor * prow[c];
+        }
+    }
+
+    x.assign(n, 0.0);
+    for (std::size_t r = n; r-- > 0;) {
+        const double *row = work + r * stride;
+        double acc = row[n];
+        for (std::size_t c = r + 1; c < n; ++c)
+            acc -= row[c] * x[c];
+        x[r] = acc / row[r];
+    }
+}
+
 std::vector<double>
 solveLinearSystem(const Matrix &a, const std::vector<double> &b,
                   bool *singular)
@@ -95,48 +148,15 @@ solveLinearSystem(const Matrix &a, const std::vector<double> &b,
     ICEB_ASSERT(a.rows() == a.cols(), "solve needs a square system");
     ICEB_ASSERT(a.rows() == b.size(), "rhs size mismatch");
     const std::size_t n = a.rows();
-    if (singular)
-        *singular = false;
 
-    // Augmented working copy.
-    std::vector<std::vector<double>> work(n, std::vector<double>(n + 1));
+    std::vector<double> aug(n * (n + 1));
     for (std::size_t r = 0; r < n; ++r) {
         for (std::size_t c = 0; c < n; ++c)
-            work[r][c] = a.at(r, c);
-        work[r][n] = b[r];
+            aug[r * (n + 1) + c] = a.at(r, c);
+        aug[r * (n + 1) + n] = b[r];
     }
-
-    for (std::size_t col = 0; col < n; ++col) {
-        // Partial pivoting: largest absolute value in this column.
-        std::size_t pivot = col;
-        for (std::size_t r = col + 1; r < n; ++r)
-            if (std::fabs(work[r][col]) > std::fabs(work[pivot][col]))
-                pivot = r;
-        if (std::fabs(work[pivot][col]) < 1e-12) {
-            if (singular) {
-                *singular = true;
-                return std::vector<double>(n, 0.0);
-            }
-            panic("singular system in solveLinearSystem");
-        }
-        std::swap(work[col], work[pivot]);
-
-        for (std::size_t r = col + 1; r < n; ++r) {
-            const double factor = work[r][col] / work[col][col];
-            if (factor == 0.0)
-                continue;
-            for (std::size_t c = col; c <= n; ++c)
-                work[r][c] -= factor * work[col][c];
-        }
-    }
-
-    std::vector<double> x(n, 0.0);
-    for (std::size_t r = n; r-- > 0;) {
-        double acc = work[r][n];
-        for (std::size_t c = r + 1; c < n; ++c)
-            acc -= work[r][c] * x[c];
-        x[r] = acc / work[r][r];
-    }
+    std::vector<double> x;
+    solveLinearSystemInPlace(aug, n, x, singular);
     return x;
 }
 

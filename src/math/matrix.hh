@@ -68,6 +68,19 @@ std::vector<double> solveLinearSystem(const Matrix &a,
                                       const std::vector<double> &b,
                                       bool *singular = nullptr);
 
+/**
+ * Allocation-free Gaussian elimination over a caller-built augmented
+ * system: @p aug holds n rows of (n + 1) columns row-major, the last
+ * column being the right-hand side. @p aug is destroyed; the solution
+ * is written to @p x (resized to n, no allocation once capacity
+ * exists). Pivoting, tolerances and operation order match
+ * solveLinearSystem exactly (which delegates here), so both produce
+ * bit-identical solutions.
+ */
+void solveLinearSystemInPlace(std::vector<double> &aug, std::size_t n,
+                              std::vector<double> &x,
+                              bool *singular = nullptr);
+
 /** Dot product of two equal-length vectors. */
 double dot(const std::vector<double> &a, const std::vector<double> &b);
 

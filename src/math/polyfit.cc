@@ -26,6 +26,13 @@ Polynomial::coeff(std::size_t power) const
     return power < coeffs_.size() ? coeffs_[power] : 0.0;
 }
 
+void
+Polynomial::assign(const double *coeffs, std::size_t count)
+{
+    ICEB_ASSERT(count >= 1, "polynomial needs a coefficient");
+    coeffs_.assign(coeffs, coeffs + count);
+}
+
 double
 Polynomial::evaluate(double t) const
 {
@@ -79,18 +86,70 @@ polyfit(const std::vector<double> &x, const std::vector<double> &y,
 Polynomial
 polyfitSeries(const std::vector<double> &y, std::size_t degree)
 {
-    std::vector<double> x(y.size());
-    std::iota(x.begin(), x.end(), 0.0);
-    return polyfit(x, y, degree);
+    Polynomial out;
+    PolyfitWorkspace ws;
+    polyfitSeries(y.data(), y.size(), degree, out, ws);
+    return out;
+}
+
+void
+polyfitSeries(const double *y, std::size_t n, std::size_t degree,
+              Polynomial &out, PolyfitWorkspace &ws)
+{
+    ICEB_ASSERT(n >= 1, "polyfit of empty data");
+    const std::size_t terms = degree + 1;
+
+    // Same normal-equation power sums as polyfit() over the implicit
+    // sample points x_i = i (iota yields the exact same doubles), so
+    // the fit is bit-identical to polyfit(iota, y, degree).
+    ws.powers.assign(2 * degree + 1, 0.0);
+    ws.aty.assign(terms, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double xi = static_cast<double>(i);
+        double xk = 1.0;
+        for (std::size_t k = 0; k < ws.powers.size(); ++k) {
+            ws.powers[k] += xk;
+            if (k < terms)
+                ws.aty[k] += xk * y[i];
+            xk *= xi;
+        }
+    }
+    ws.aug.assign(terms * (terms + 1), 0.0);
+    for (std::size_t r = 0; r < terms; ++r) {
+        for (std::size_t c = 0; c < terms; ++c)
+            ws.aug[r * (terms + 1) + c] = ws.powers[r + c];
+        ws.aug[r * (terms + 1) + terms] = ws.aty[r];
+    }
+
+    bool singular = false;
+    solveLinearSystemInPlace(ws.aug, terms, ws.coeffs, &singular);
+    if (singular) {
+        // Degenerate sample (e.g. a single point): fall back to the
+        // mean level, matching polyfit().
+        double sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            sum += y[i];
+        ws.coeffs.assign(terms, 0.0);
+        ws.coeffs[0] = sum / static_cast<double>(n);
+    }
+    out.assign(ws.coeffs.data(), terms);
 }
 
 std::vector<double>
 detrend(const std::vector<double> &y, const Polynomial &trend)
 {
-    std::vector<double> out(y.size());
-    for (std::size_t i = 0; i < y.size(); ++i)
-        out[i] = y[i] - trend.evaluate(static_cast<double>(i));
+    std::vector<double> out;
+    detrendInto(y.data(), y.size(), trend, out);
     return out;
+}
+
+void
+detrendInto(const double *y, std::size_t n, const Polynomial &trend,
+            std::vector<double> &out)
+{
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = y[i] - trend.evaluate(static_cast<double>(i));
 }
 
 double

@@ -36,11 +36,31 @@ class Polynomial
     /** Coefficient of t^power (0 when beyond the stored degree). */
     double coeff(std::size_t power) const;
 
+    /**
+     * Replace the coefficients (lowest order first) in place. Does
+     * not allocate once the internal capacity covers @p count, which
+     * is what lets fit workspaces reuse one Polynomial per window.
+     */
+    void assign(const double *coeffs, std::size_t count);
+
     /** Evaluate at t via Horner's rule. */
     double evaluate(double t) const;
 
   private:
     std::vector<double> coeffs_;
+};
+
+/**
+ * Reusable scratch for polyfitSeries: normal-equation power sums and
+ * the augmented solver system. Buffers grow on first use and are
+ * reused afterwards, so steady-state fits allocate nothing.
+ */
+struct PolyfitWorkspace
+{
+    std::vector<double> powers; //!< sum_i x_i^k, k <= 2*degree
+    std::vector<double> aty;    //!< sum_i x_i^k * y_i, k <= degree
+    std::vector<double> aug;    //!< augmented normal equations
+    std::vector<double> coeffs; //!< solver output
 };
 
 /**
@@ -60,9 +80,22 @@ Polynomial polyfit(const std::vector<double> &x,
  */
 Polynomial polyfitSeries(const std::vector<double> &y, std::size_t degree);
 
+/**
+ * Allocation-free polyfitSeries: fits y[0..n) over implicit
+ * x = 0..n-1 into @p out, using @p ws for every intermediate. The
+ * arithmetic (and therefore the result) is bit-identical to the
+ * vector overload, which delegates here.
+ */
+void polyfitSeries(const double *y, std::size_t n, std::size_t degree,
+                   Polynomial &out, PolyfitWorkspace &ws);
+
 /** Subtract a polynomial trend evaluated at x = 0..n-1 from y. */
 std::vector<double> detrend(const std::vector<double> &y,
                             const Polynomial &trend);
+
+/** detrend into a reused output buffer (no allocation once sized). */
+void detrendInto(const double *y, std::size_t n, const Polynomial &trend,
+                 std::vector<double> &out);
 
 /** Residual sum of squares of a fit over implicit x = 0..n-1. */
 double residualSumOfSquares(const std::vector<double> &y,

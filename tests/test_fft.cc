@@ -232,4 +232,130 @@ TEST(HarmonicsTest, ExtrapolationHandlesShortSeries)
     EXPECT_NO_THROW(decomposeForExtrapolation(tiny, 3));
 }
 
+// ------------------------------------------------------- FftPlan cache
+
+TEST(FftPlanTest, GoldenBitIdenticalToFreshTransforms)
+{
+    // The plan precomputes exactly what the fresh code recomputes per
+    // call (same twiddle recurrences, same chirp expressions, same
+    // operation order), so plan transforms must match fft()/ifft()
+    // bit for bit -- not merely within a tolerance. Lengths 1..64
+    // cover the radix-2 path, the Bluestein path, and every
+    // convolution length the latter picks in between.
+    FftScratch scratch; // shared across lengths: reuse must not leak
+    for (std::size_t n = 1; n <= 64; ++n) {
+        const std::vector<Complex> signal =
+            randomSignal(n, 0xfeed0000 + n);
+        const auto plan = fftPlanFor(n);
+        ASSERT_EQ(plan->size(), n);
+
+        const std::vector<Complex> fresh_fwd = fft(signal);
+        std::vector<Complex> plan_fwd(n);
+        plan->forward(signal.data(), plan_fwd.data(), scratch);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(plan_fwd[i].real(), fresh_fwd[i].real())
+                << "n=" << n << " bin=" << i;
+            EXPECT_EQ(plan_fwd[i].imag(), fresh_fwd[i].imag())
+                << "n=" << n << " bin=" << i;
+        }
+
+        const std::vector<Complex> fresh_inv = ifft(signal);
+        std::vector<Complex> plan_inv(n);
+        plan->inverse(signal.data(), plan_inv.data(), scratch);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(plan_inv[i].real(), fresh_inv[i].real())
+                << "n=" << n << " bin=" << i;
+            EXPECT_EQ(plan_inv[i].imag(), fresh_inv[i].imag())
+                << "n=" << n << " bin=" << i;
+        }
+    }
+}
+
+TEST(FftPlanTest, CacheReturnsSameInstance)
+{
+    const auto a = fftPlanFor(120);
+    const auto b = fftPlanFor(120);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_NE(a.get(), fftPlanFor(64).get());
+}
+
+TEST(FftPlanTest, RealForwardMatchesDirectDft)
+{
+    // The packed real-input path (even n) and the complex fallback
+    // (odd n) must both agree with the O(n^2) definition.
+    FftScratch scratch;
+    for (const std::size_t n : {8u, 59u, 60u, 64u, 120u}) {
+        iceb::Rng rng(0xbeef0000 + n);
+        std::vector<double> real_signal(n);
+        std::vector<Complex> as_complex(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            real_signal[i] = rng.uniform(-5.0, 5.0);
+            as_complex[i] = Complex(real_signal[i], 0.0);
+        }
+        const std::vector<Complex> expected = dftDirect(as_complex);
+        std::vector<Complex> actual(n);
+        fftPlanFor(n)->forwardReal(real_signal.data(), actual.data(),
+                                   scratch);
+        EXPECT_LT(maxDiff(actual, expected), 1e-9) << "n=" << n;
+
+        // The fftReal() convenience wrapper routes through the same
+        // plan path.
+        EXPECT_LT(maxDiff(fftReal(real_signal), expected), 1e-9)
+            << "n=" << n;
+    }
+}
+
+// ---------------------------------------------------------- SlidingDft
+
+TEST(SlidingDftTest, TracksFullRecomputeWithinTolerance)
+{
+    // Slide a random stream through both the incremental DFT and a
+    // from-scratch plan transform of the same window; the retained
+    // bins must stay within the predictor's 1e-6 agreement budget.
+    // 120 exercises the Bluestein resync, 64 the radix-2 one.
+    for (const std::size_t n : {64u, 120u}) {
+        iceb::Rng rng(0x51de0000 + n);
+        std::vector<double> window(n);
+        for (auto &v : window)
+            v = rng.uniform(0.0, 10.0);
+
+        FftScratch scratch;
+        SlidingDft sdft(n);
+        EXPECT_FALSE(sdft.valid());
+        sdft.resync(window.data(), n, scratch);
+        ASSERT_TRUE(sdft.valid());
+
+        const auto plan = fftPlanFor(n);
+        std::vector<Complex> reference(n);
+        for (int step = 0; step < 300; ++step) {
+            const double incoming = rng.uniform(0.0, 10.0);
+            sdft.slide(window.front(), incoming);
+            window.erase(window.begin());
+            window.push_back(incoming);
+
+            plan->forwardReal(window.data(), reference.data(), scratch);
+            for (std::size_t k = 0; k <= n / 2; ++k) {
+                EXPECT_NEAR(std::abs(sdft.bins()[k] - reference[k]),
+                            0.0, 1e-6)
+                    << "n=" << n << " step=" << step << " bin=" << k;
+            }
+        }
+    }
+}
+
+TEST(SlidingDftTest, InvalidateForcesResync)
+{
+    const std::size_t n = 16;
+    std::vector<double> window(n, 1.0);
+    FftScratch scratch;
+    SlidingDft sdft(n);
+    sdft.resync(window.data(), n, scratch);
+    EXPECT_TRUE(sdft.valid());
+    sdft.invalidate();
+    EXPECT_FALSE(sdft.valid());
+    sdft.resync(window.data(), n, scratch);
+    EXPECT_TRUE(sdft.valid());
+    EXPECT_NEAR(sdft.bins()[0].real(), static_cast<double>(n), 1e-9);
+}
+
 } // namespace

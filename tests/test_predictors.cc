@@ -6,8 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "math/harmonics.hh"
+#include "math/polyfit.hh"
+#include "math/stats.hh"
+#include "math/harmonics.hh"
+#include "math/polyfit.hh"
+#include "math/stats.hh"
 #include "predictors/arima.hh"
 #include "predictors/fft_predictor.hh"
 #include "predictors/hybrid_histogram.hh"
@@ -145,6 +152,123 @@ TEST(FftPredictorTest, HorizonFollowsPeriodicity)
     for (std::size_t i = 5; i <= 15; ++i)
         mid = std::max(mid, horizon[i]);
     EXPECT_GT(horizon[20], mid);
+}
+
+
+TEST(FftPredictorTest, RingBufferMatchesEraseWindowReference)
+{
+    // Regression for the ring-buffer window swap: compose the public
+    // vector math APIs over an erase-from-front window (the
+    // pre-ring-buffer predictor, step for step) and demand exactly
+    // equal forecasts at every stream position, including the
+    // wrap-around steps after the window first fills.
+    FftPredictorConfig config;
+    config.window = 24; // small window -> many wrap-arounds
+    FftPredictor predictor(config);
+    std::vector<double> window;
+
+    std::vector<double> actual;
+    for (int t = 0; t < 90; ++t) {
+        const double value = std::max(
+            0.0, 3.0 + 2.0 * std::cos(2.0 * M_PI * t / 7.0) + 0.05 * t);
+
+        predictor.observe(value);
+        if (window.size() == config.window)
+            window.erase(window.begin());
+        window.push_back(std::max(0.0, value));
+
+        predictor.forecastHorizon(5, actual);
+        ASSERT_EQ(actual.size(), 5u);
+
+        // Reference: the predictor's documented pipeline on the
+        // erase-based window.
+        std::vector<double> expected(5, 0.0);
+        const bool all_zero = std::all_of(
+            window.begin(), window.end(),
+            [](double v) { return v == 0.0; });
+        if (!all_zero && window.size() < config.min_samples) {
+            std::fill(expected.begin(), expected.end(),
+                      std::max(0.0, iceb::math::mean(window)));
+        } else if (!all_zero) {
+            const iceb::math::Polynomial trend =
+                iceb::math::polyfitSeries(window, config.poly_degree);
+            const std::vector<double> residual =
+                iceb::math::detrend(window, trend);
+            const std::vector<iceb::math::Harmonic> harmonics =
+                iceb::math::decomposeForExtrapolation(residual,
+                                                      config.harmonics);
+            for (std::size_t step = 0; step < expected.size(); ++step) {
+                const double at =
+                    static_cast<double>(window.size() + step);
+                expected[step] = std::max(
+                    0.0, trend.evaluate(at) +
+                        iceb::math::evaluateHarmonics(harmonics, at));
+            }
+        }
+        for (std::size_t step = 0; step < expected.size(); ++step) {
+            EXPECT_DOUBLE_EQ(actual[step], expected[step])
+                << "t=" << t << " step=" << step;
+        }
+    }
+}
+
+TEST(FftPredictorTest, IncrementalSpectrumMatchesDefaultPath)
+{
+    // The opt-in sliding-DFT mode must agree with the default
+    // full-recompute path within 1e-6 at every step -- across many
+    // resync cadences, through the initial fill, and over enough
+    // slides to expose rotation drift if the resync policy failed to
+    // bound it.
+    FftPredictorConfig base;
+    base.window = 60;
+    for (const std::size_t resync_every : {1u, 16u, 64u}) {
+        FftPredictorConfig inc_config = base;
+        inc_config.incremental_spectrum = true;
+        inc_config.resync_every = resync_every;
+
+        FftPredictor reference(base);
+        FftPredictor incremental(inc_config);
+        std::vector<double> want, got;
+        for (int t = 0; t < 400; ++t) {
+            const double value = std::max(
+                0.0, 6.0 + 3.0 * std::cos(2.0 * M_PI * t / 12.5) +
+                    1.5 * std::cos(2.0 * M_PI * t / 30.0) + 0.01 * t);
+            reference.observe(value);
+            incremental.observe(value);
+            reference.forecastHorizon(8, want);
+            incremental.forecastHorizon(8, got);
+            for (std::size_t step = 0; step < want.size(); ++step) {
+                EXPECT_NEAR(got[step], want[step], 1e-6)
+                    << "resync=" << resync_every << " t=" << t
+                    << " step=" << step;
+            }
+        }
+    }
+}
+
+TEST(FftPredictorTest, IncrementalResetMatchesFreshPredictor)
+{
+    FftPredictorConfig config;
+    config.window = 32;
+    config.incremental_spectrum = true;
+    FftPredictor predictor(config);
+    for (int t = 0; t < 100; ++t)
+        predictor.observe(2.0 + std::cos(0.3 * t));
+    predictor.reset();
+    EXPECT_EQ(predictor.sampleCount(), 0u);
+    EXPECT_DOUBLE_EQ(predictor.predictNext(), 0.0);
+
+    FftPredictor fresh(config);
+    std::vector<double> a, b;
+    for (int t = 0; t < 80; ++t) {
+        const double value = 1.0 + std::cos(0.2 * t);
+        predictor.observe(value);
+        fresh.observe(value);
+        predictor.forecastHorizon(4, a);
+        fresh.forecastHorizon(4, b);
+        for (std::size_t step = 0; step < a.size(); ++step)
+            EXPECT_DOUBLE_EQ(a[step], b[step]) << "t=" << t;
+    }
 }
 
 // ---------------------------------------------------------------- ARIMA
