@@ -1,0 +1,548 @@
+/**
+ * @file
+ * Whole-simulation throughput benchmark: events/sec, ns/event and
+ * allocations/invocation for the discrete-event sim core, against the
+ * frozen pre-optimisation core in legacy_sim.hh (hash-map container
+ * table, linear worst-fit scans, std::find pool removal, fat-event
+ * binary heap, materialised arrival pushes).
+ *
+ * Both cores replay the same frozen synthetic trace under the
+ * OpenWhisk baseline policy and must produce identical metrics (the
+ * refactor is behaviour-preserving by construction); the bench gates
+ * on that agreement before timing anything.
+ *
+ * The allocation probe runs the live core twice: a calibration run
+ * whose EventLoopStats peaks become SimCapacityHints, then a hinted
+ * run whose Simulator::run() must not allocate at all.
+ *
+ * Flags:
+ *   --functions N / --intervals N   workload size (default 64 x 120)
+ *   --repeats R                     timed runs per core (default 5)
+ *   --threads N                     shard timed runs across N threads
+ *   --json PATH                     output path (default BENCH_sim.json)
+ *   --smoke                         tiny workload + correctness gates:
+ *                                   exits non-zero if the cores
+ *                                   disagree or the hinted run
+ *                                   allocates. Absolute timings are
+ *                                   NOT gated (CI noise).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "legacy_sim.hh"
+#include "policies/openwhisk_policy.hh"
+#include "sim/simulator.hh"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter. Counts every operator new in the
+// process, so deltas are taken around single-threaded measurement
+// regions only.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+std::atomic<long long> g_alloc_count{0};
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *ptr) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, std::size_t) noexcept
+{
+    std::free(ptr);
+}
+
+namespace
+{
+
+using namespace iceb;
+using Clock = std::chrono::steady_clock;
+
+struct BenchConfig
+{
+    std::size_t num_functions = 64;
+    std::size_t num_intervals = 120; // 2 hours of 1-minute slots
+    std::size_t repeats = 5;
+    std::size_t threads = 1;
+    std::string json_path = "BENCH_sim.json";
+    bool smoke = false;
+};
+
+// ---------------------------------------------------------------------------
+// Frozen workload: hand-rolled trace (independent of the
+// synthetic-trace generator, so this bench's numbers cannot drift as
+// the workload model evolves). The regime is warm steady state --
+// where a production FaaS simulator spends nearly all of its time:
+//
+//  * Three quarters of the functions serve a burst of invocations
+//    every interval, all warm reuses after the first. Each reuse
+//    renews the keep-alive, so under OpenWhisk's 10-minute window a
+//    deep backlog of stale ContainerExpiry events accumulates in the
+//    pending-event set (hundreds of thousands). That backlog is what
+//    separates the cores: the legacy core pushes and pops a fat
+//    48-byte Event through an ~18-level, multi-megabyte binary heap
+//    for EVERY arrival, while the live core streams arrivals from
+//    the precomputed schedule without touching the queue at all, and
+//    its completion/expiry traffic costs an O(1) calendar-queue
+//    bucket append plus a sequential sorted-run drain.
+//  * The remaining quarter are sparse: gaps longer than the
+//    keep-alive, so every burst cold-starts a fresh fleet (O(servers)
+//    worst-fit scans + a hash-map node allocation per container in
+//    the legacy core) and the previous fleet expires.
+//
+// Memory is provisioned above peak demand: no eviction and no wait
+// queueing, which are identical code on both sides and would only
+// dilute the comparison (tests cover those paths; the agreement gate
+// still replays them on every smoke run via the sparse expiries).
+// ---------------------------------------------------------------------------
+
+struct BenchWorkload
+{
+    trace::Trace tr{1, 60'000}; // placeholder; rebuilt in buildWorkload
+    std::vector<workload::FunctionProfile> profiles;
+    sim::ClusterConfig cluster;
+};
+
+BenchWorkload
+buildWorkload(const BenchConfig &cfg)
+{
+    BenchWorkload w;
+    w.tr = trace::Trace(cfg.num_intervals, 60'000);
+    Rng rng(0x51D'BE4C'11ull);
+    std::int64_t peak_demand_mb = 0;
+    for (std::size_t fn = 0; fn < cfg.num_functions; ++fn) {
+        Rng stream = rng.fork(fn);
+        trace::FunctionSeries series;
+        series.name = "b" + std::to_string(fn);
+        series.memory_mb = 128 + 64 * stream.uniformInt(0, 2);
+        series.avg_exec_ms = 600 * stream.uniformInt(1, 3);
+        series.concurrency.assign(cfg.num_intervals, 0);
+        std::uint32_t peak_conc = 0;
+        if (fn % 4 != 3) {
+            // Steady service: a warm-reuse burst every interval.
+            for (std::size_t iv = 0; iv < cfg.num_intervals; ++iv) {
+                series.concurrency[iv] = static_cast<std::uint32_t>(
+                    stream.uniformInt(256, 512));
+                peak_conc = std::max(peak_conc, series.concurrency[iv]);
+            }
+        } else {
+            // Sparse service: gaps outlast the 10-minute keep-alive,
+            // so each burst is a cold restart of the whole fleet and
+            // the previous fleet expires container by container.
+            std::size_t iv =
+                static_cast<std::size_t>(stream.uniformInt(0, 11));
+            while (iv < cfg.num_intervals) {
+                series.concurrency[iv] = static_cast<std::uint32_t>(
+                    stream.uniformInt(32, 96));
+                peak_conc = std::max(peak_conc, series.concurrency[iv]);
+                iv += static_cast<std::size_t>(stream.uniformInt(12, 18));
+            }
+        }
+        w.tr.addFunction(series);
+        peak_demand_mb +=
+            static_cast<std::int64_t>(series.memory_mb) * peak_conc;
+
+        workload::FunctionProfile profile;
+        profile.name = series.name;
+        profile.memory_mb = series.memory_mb;
+        profile.cold_start_ms = {
+            1000 + 250 * stream.uniformInt(0, 4),
+            2000 + 500 * stream.uniformInt(0, 4)};
+        profile.exec_ms = {series.avg_exec_ms, 2 * series.avg_exec_ms};
+        w.profiles.push_back(profile);
+    }
+
+    // Provision 15% above the sum of per-function peaks (an upper
+    // bound on simultaneous containers) so placement never evicts or
+    // queues. Many small servers keep the legacy cold-placement scan
+    // honest without inflating construction cost.
+    w.cluster = sim::defaultHeterogeneousCluster();
+    const std::size_t servers = static_cast<std::size_t>(
+        peak_demand_mb * 23 / 20 / 2048 + 1);
+    w.cluster.spec(Tier::HighEnd).server_count = servers;
+    w.cluster.spec(Tier::HighEnd).memory_per_server_mb = 2048;
+    w.cluster.spec(Tier::LowEnd).server_count = servers;
+    w.cluster.spec(Tier::LowEnd).memory_per_server_mb = 2048;
+    return w;
+}
+
+// ------------------------------------------------------------ agreement
+
+std::uint64_t
+fnv1a(std::uint64_t hash, std::uint64_t value)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        hash ^= (value >> (8 * byte)) & 0xff;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1aDouble(std::uint64_t hash, double value)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return fnv1a(hash, bits);
+}
+
+/** Hash every output both cores share (event_loop is new-only). */
+std::uint64_t
+hashMetrics(const sim::SimulationMetrics &m)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    hash = fnv1a(hash, m.invocations);
+    hash = fnv1a(hash, m.cold_starts);
+    hash = fnv1a(hash, m.warm_starts);
+    hash = fnv1a(hash, m.cold_no_container);
+    hash = fnv1a(hash, m.cold_all_busy);
+    hash = fnv1a(hash, m.cold_setup_attach);
+    hash = fnv1aDouble(hash, m.sum_service_ms);
+    hash = fnv1aDouble(hash, m.sum_wait_ms);
+    hash = fnv1aDouble(hash, m.sum_cold_ms);
+    hash = fnv1aDouble(hash, m.sum_exec_ms);
+    hash = fnv1aDouble(hash, m.sum_overhead_ms);
+    for (const auto *samples :
+         {&m.service_times_ms, &m.service_times_high_ms,
+          &m.service_times_low_ms}) {
+        hash = fnv1a(hash, samples->size());
+        for (float sample : *samples) {
+            std::uint32_t bits = 0;
+            std::memcpy(&bits, &sample, sizeof(bits));
+            hash = fnv1a(hash, bits);
+        }
+    }
+    for (const sim::FunctionMetrics &fm : m.per_function) {
+        hash = fnv1a(hash, fm.invocations);
+        hash = fnv1a(hash, fm.cold_starts);
+        hash = fnv1a(hash, fm.warm_starts);
+        hash = fnv1aDouble(hash, fm.sum_service_ms);
+        hash = fnv1aDouble(hash, fm.sum_wait_ms);
+        hash = fnv1aDouble(hash, fm.sum_cold_ms);
+        hash = fnv1aDouble(hash, fm.sum_exec_ms);
+        hash = fnv1aDouble(hash, fm.keep_alive_cost);
+    }
+    for (int t = 0; t < kNumTiers; ++t) {
+        hash = fnv1aDouble(hash, m.keep_alive[t].successful_cost);
+        hash = fnv1aDouble(hash, m.keep_alive[t].wasteful_cost);
+        hash = fnv1aDouble(hash, m.keep_alive[t].wasted_mb_ms);
+    }
+    return hash;
+}
+
+sim::SimulationMetrics
+runLegacy(const BenchWorkload &w)
+{
+    policies::OpenWhiskPolicy policy;
+    legacy_sim::Simulator sim(w.tr, w.profiles, w.cluster, policy,
+                              sim::SimulatorOptions{}.seed);
+    return sim.run();
+}
+
+sim::SimulationMetrics
+runLive(const BenchWorkload &w, const sim::SimCapacityHints &hints = {})
+{
+    policies::OpenWhiskPolicy policy;
+    sim::SimulatorOptions options;
+    options.hints = hints;
+    sim::Simulator sim(w.tr, w.profiles, w.cluster, policy, options);
+    return sim.run();
+}
+
+// --------------------------------------------------------------- timing
+
+struct CoreTiming
+{
+    double wall_ms = 0.0;       //!< whole timed batch
+    double events_per_sec = 0.0;
+    double ns_per_event = 0.0;
+};
+
+/**
+ * Time @p repeats complete simulations sharded across @p threads
+ * (each run is independent; both cores are measured identically).
+ * @p events is the logical event count of ONE run.
+ *
+ * Single-threaded runs report the MEDIAN per-repeat time: the rates
+ * being compared differ by integer factors, while a shared machine
+ * can stall any one repeat by tens of percent, so the median is the
+ * robust estimator of true cost. Multi-threaded runs time the whole
+ * sharded batch (the point there is aggregate throughput).
+ */
+template <typename RunFn>
+CoreTiming
+timeCore(RunFn &&run_fn, std::size_t repeats, std::size_t threads,
+         std::uint64_t events)
+{
+    const auto start = Clock::now();
+    double median_run_ms = 0.0;
+    if (threads <= 1) {
+        std::vector<double> run_ms;
+        run_ms.reserve(repeats);
+        for (std::size_t r = 0; r < repeats; ++r) {
+            const auto run_start = Clock::now();
+            run_fn();
+            run_ms.push_back(std::chrono::duration<double, std::milli>(
+                                 Clock::now() - run_start)
+                                 .count());
+        }
+        std::nth_element(run_ms.begin(),
+                         run_ms.begin() +
+                             static_cast<std::ptrdiff_t>(repeats / 2),
+                         run_ms.end());
+        median_run_ms = run_ms[repeats / 2];
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (std::size_t t = 0; t < threads; ++t) {
+            pool.emplace_back([&] {
+                while (next.fetch_add(1) < repeats)
+                    run_fn();
+            });
+        }
+        for (std::thread &worker : pool)
+            worker.join();
+    }
+    const auto end = Clock::now();
+
+    CoreTiming timing;
+    timing.wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    const double rep_ms = threads <= 1
+        ? median_run_ms
+        : timing.wall_ms / static_cast<double>(repeats);
+    timing.events_per_sec =
+        static_cast<double>(events) / (rep_ms / 1000.0);
+    timing.ns_per_event = rep_ms * 1e6 / static_cast<double>(events);
+    return timing;
+}
+
+// ----------------------------------------------------------------- json
+
+void
+writeJson(const BenchConfig &cfg, std::uint64_t events,
+          std::uint64_t invocations, const CoreTiming &legacy,
+          const CoreTiming &live, bool agree, long long calib_allocs,
+          long long hinted_allocs, const sim::EventLoopStats &stats)
+{
+    std::ofstream out(cfg.json_path);
+    out << "{\n";
+    out << "  \"bench\": \"sim\",\n";
+    out << "  \"workload\": {\"functions\": " << cfg.num_functions
+        << ", \"intervals\": " << cfg.num_intervals
+        << ", \"invocations\": " << invocations
+        << ", \"events\": " << events << "},\n";
+    out << "  \"repeats\": " << cfg.repeats << ",\n";
+    out << "  \"threads\": " << cfg.threads << ",\n";
+    out << "  \"agreement\": " << (agree ? "true" : "false") << ",\n";
+    out << "  \"legacy\": {\"wall_ms\": " << legacy.wall_ms
+        << ", \"events_per_sec\": " << legacy.events_per_sec
+        << ", \"ns_per_event\": " << legacy.ns_per_event << "},\n";
+    out << "  \"live\": {\"wall_ms\": " << live.wall_ms
+        << ", \"events_per_sec\": " << live.events_per_sec
+        << ", \"ns_per_event\": " << live.ns_per_event << "},\n";
+    out << "  \"speedup_vs_legacy\": "
+        << live.events_per_sec / legacy.events_per_sec << ",\n";
+    out << "  \"allocations\": {\"calibration_run\": " << calib_allocs
+        << ", \"hinted_run\": " << hinted_allocs
+        << ", \"hinted_per_invocation\": "
+        << static_cast<double>(hinted_allocs) /
+            static_cast<double>(invocations)
+        << "},\n";
+    out << "  \"event_loop\": {\"popped_total\": " << stats.totalPopped()
+        << ", \"stale_expiry_events\": " << stats.stale_expiry_events
+        << ", \"stale_evict_entries\": " << stats.stale_evict_entries
+        << ", \"eviction_victims_examined\": "
+        << stats.eviction_victims_examined
+        << ", \"peak_live_containers\": " << stats.peak_live_containers
+        << ", \"peak_pending_events\": " << stats.peak_pending_events
+        << ", \"peak_bucket_events\": " << stats.peak_bucket_events
+        << ", \"peak_evict_entries\": " << stats.peak_evict_entries
+        << ", \"peak_wait_queue\": " << stats.peak_wait_queue << "}\n";
+    out << "}\n";
+}
+
+[[noreturn]] void
+usage(int status)
+{
+    (status == 0 ? std::cout : std::cerr)
+        << "usage: bench_sim [--functions N] [--intervals N]\n"
+           "                 [--repeats R] [--threads N]\n"
+           "                 [--json PATH] [--smoke]\n";
+    std::exit(status);
+}
+
+BenchConfig
+parseArgs(int argc, char **argv)
+{
+    BenchConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "bench_sim: missing value for " << arg << "\n";
+                usage(1);
+            }
+            return argv[++i];
+        };
+        auto count = [&]() -> std::size_t {
+            const std::string text = next();
+            char *end = nullptr;
+            const unsigned long long value =
+                std::strtoull(text.c_str(), &end, 0);
+            if (end == text.c_str() || *end != '\0' || value == 0) {
+                std::cerr << "bench_sim: bad value '" << text << "' for "
+                          << arg << " (want a positive integer)\n";
+                usage(1);
+            }
+            return static_cast<std::size_t>(value);
+        };
+        if (arg == "--functions") {
+            cfg.num_functions = count();
+        } else if (arg == "--intervals") {
+            cfg.num_intervals = count();
+        } else if (arg == "--repeats") {
+            cfg.repeats = count();
+        } else if (arg == "--threads") {
+            cfg.threads = count();
+        } else if (arg == "--json") {
+            cfg.json_path = next();
+        } else if (arg == "--smoke") {
+            cfg.smoke = true;
+        } else {
+            if (arg != "--help")
+                std::cerr << "bench_sim: unknown option " << arg << "\n";
+            usage(arg == "--help" ? 0 : 1);
+        }
+    }
+    if (cfg.smoke) {
+        cfg.num_functions = 16;
+        cfg.num_intervals = 30;
+        cfg.repeats = 2;
+    }
+    if (cfg.threads == 0)
+        cfg.threads = 1;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchConfig cfg = parseArgs(argc, argv);
+    const BenchWorkload w = buildWorkload(cfg);
+
+    // -------------------------------------------------- agreement gate
+    const sim::SimulationMetrics legacy_metrics = runLegacy(w);
+    const sim::SimulationMetrics live_metrics = runLive(w);
+    const bool agree =
+        hashMetrics(legacy_metrics) == hashMetrics(live_metrics);
+    const std::uint64_t events = live_metrics.event_loop.totalPopped();
+    const std::uint64_t invocations = live_metrics.invocations;
+    std::printf("workload: %zu fns x %zu intervals, %llu invocations, "
+                "%llu events\n",
+                cfg.num_functions, cfg.num_intervals,
+                static_cast<unsigned long long>(invocations),
+                static_cast<unsigned long long>(events));
+    std::printf("agreement (legacy == live metrics): %s\n",
+                agree ? "OK" : "MISMATCH");
+
+    // -------------------------------------------------- allocation probe
+    sim::SimCapacityHints hints;
+    hints.containers = live_metrics.event_loop.peak_live_containers;
+    hints.events = live_metrics.event_loop.peak_pending_events;
+    hints.events_per_bucket = live_metrics.event_loop.peak_bucket_events;
+    hints.evict_entries = live_metrics.event_loop.peak_evict_entries;
+    hints.wait_queue = live_metrics.event_loop.peak_wait_queue;
+
+    long long calib_allocs = 0;
+    long long hinted_allocs = 0;
+    {
+        policies::OpenWhiskPolicy policy;
+        sim::Simulator sim(w.tr, w.profiles, w.cluster, policy, {});
+        const long long before =
+            g_alloc_count.load(std::memory_order_relaxed);
+        (void)sim.run();
+        calib_allocs =
+            g_alloc_count.load(std::memory_order_relaxed) - before;
+    }
+    {
+        policies::OpenWhiskPolicy policy;
+        sim::SimulatorOptions options;
+        options.hints = hints;
+        sim::Simulator sim(w.tr, w.profiles, w.cluster, policy, options);
+        const long long before =
+            g_alloc_count.load(std::memory_order_relaxed);
+        (void)sim.run();
+        hinted_allocs =
+            g_alloc_count.load(std::memory_order_relaxed) - before;
+    }
+    std::printf("allocations in run(): calibration %lld, hinted %lld "
+                "(%.6f per invocation)\n",
+                calib_allocs, hinted_allocs,
+                static_cast<double>(hinted_allocs) /
+                    static_cast<double>(invocations));
+
+    // ----------------------------------------------------------- timing
+    // One untimed warmup of each core, then the timed batches.
+    (void)runLegacy(w);
+    (void)runLive(w, hints);
+    const CoreTiming legacy_timing = timeCore(
+        [&] { (void)runLegacy(w); }, cfg.repeats, cfg.threads, events);
+    const CoreTiming live_timing = timeCore(
+        [&] { (void)runLive(w, hints); }, cfg.repeats, cfg.threads,
+        events);
+    const double speedup =
+        live_timing.events_per_sec / legacy_timing.events_per_sec;
+
+    std::printf("legacy: %8.0f events/sec  (%7.1f ns/event)\n",
+                legacy_timing.events_per_sec, legacy_timing.ns_per_event);
+    std::printf("live:   %8.0f events/sec  (%7.1f ns/event)\n",
+                live_timing.events_per_sec, live_timing.ns_per_event);
+    std::printf("speedup vs legacy: %.2fx\n", speedup);
+
+    writeJson(cfg, events, invocations, legacy_timing, live_timing,
+              agree, calib_allocs, hinted_allocs,
+              live_metrics.event_loop);
+    std::printf("wrote %s\n", cfg.json_path.c_str());
+
+    if (!agree) {
+        std::fprintf(stderr, "FAIL: legacy and live metrics differ\n");
+        return 1;
+    }
+    if (hinted_allocs != 0) {
+        std::fprintf(stderr,
+                     "FAIL: hinted run() performed %lld allocations\n",
+                     hinted_allocs);
+        return 1;
+    }
+    return 0;
+}

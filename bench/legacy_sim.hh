@@ -1,0 +1,935 @@
+/**
+ * @file
+ * Frozen pre-optimisation sim core for bench_sim's speedup baseline.
+ *
+ * A verbatim port of the simulator as it stood before the
+ * allocation-free rewrite (PR 4): ContainerId -> Container hash map,
+ * worst-fit linear server scans, std::find pool removal, a binary
+ * event heap of fat 48-byte Events, and per-interval materialised
+ * arrival Event pushes. Kept here so `speedup_vs_legacy` always
+ * compares against the same baseline regardless of how src/sim
+ * evolves. Do not "fix" or modernise this code.
+ *
+ * It drives the same Policy / MetricsCollector / ClusterConfig /
+ * FunctionProfile types as the live simulator, so both run identical
+ * workloads and their metrics can be compared for exact agreement.
+ */
+
+#ifndef ICEB_BENCH_LEGACY_SIM_HH
+#define ICEB_BENCH_LEGACY_SIM_HH
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "common/units.hh"
+#include "sim/cluster_config.hh"
+#include "sim/metrics.hh"
+#include "sim/policy.hh"
+#include "trace/trace.hh"
+#include "workload/function_profile.hh"
+
+namespace legacy_sim
+{
+
+using namespace iceb;
+using sim::ClusterConfig;
+using sim::MetricsCollector;
+using sim::Policy;
+using sim::SimulationMetrics;
+using sim::TierSpec;
+using sim::WarmupInterface;
+
+// --------------------------------------------------------- event queue
+
+enum class EventType : std::uint8_t
+{
+    InvocationArrival,
+    IntervalTick,
+    PrewarmStart,
+    PrewarmReady,
+    ExecutionComplete,
+    ContainerExpiry,
+};
+
+struct Event
+{
+    TimeMs time = 0;
+    std::uint64_t seq = 0;
+    EventType type = EventType::IntervalTick;
+
+    FunctionId fn = kInvalidFunction;
+    ContainerId container = 0;
+    IntervalIndex interval = 0;
+    std::uint64_t token = 0;
+    Tier tier = Tier::HighEnd;
+    TimeMs expiry = 0;
+};
+
+class EventQueue
+{
+  public:
+    void
+    push(Event event)
+    {
+        event.seq = next_seq_++;
+        heap_.push(event);
+    }
+
+    std::optional<Event>
+    pop()
+    {
+        if (heap_.empty())
+            return std::nullopt;
+        Event event = heap_.top();
+        heap_.pop();
+        return event;
+    }
+
+    std::optional<TimeMs>
+    peekTime() const
+    {
+        if (heap_.empty())
+            return std::nullopt;
+        return heap_.top().time;
+    }
+
+    std::size_t size() const { return heap_.size(); }
+    bool empty() const { return heap_.empty(); }
+
+  private:
+    struct Later
+    {
+        bool operator()(const Event &a, const Event &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t next_seq_ = 0;
+};
+
+// -------------------------------------------------------- cluster state
+
+enum class ContainerState : std::uint8_t
+{
+    Setup,
+    IdleWarm,
+    Running,
+};
+
+struct Container
+{
+    ContainerId id = 0;
+    FunctionId fn = kInvalidFunction;
+    ServerId server = kInvalidServer;
+    Tier tier = Tier::HighEnd;
+    ContainerState state = ContainerState::Setup;
+    MemoryMb memory_mb = 0;
+
+    TimeMs ready_at = 0;
+    TimeMs idle_since = 0;
+    TimeMs expiry = 0;
+    TimeMs last_used = 0;
+    std::uint64_t expiry_token = 0;
+    bool prewarmed_unused = false;
+};
+
+struct Server
+{
+    ServerId id = kInvalidServer;
+    Tier tier = Tier::HighEnd;
+    MemoryMb capacity_mb = 0;
+    MemoryMb free_mb = 0;
+};
+
+class ClusterState : public WarmupInterface
+{
+  public:
+    ClusterState(const ClusterConfig &config,
+                 const std::vector<workload::FunctionProfile> &profiles,
+                 EventQueue &events, MetricsCollector &metrics)
+        : config_(config), profiles_(profiles), events_(events),
+          metrics_(metrics)
+    {
+        pools_.resize(profiles_.size());
+        live_per_fn_.assign(profiles_.size(), 0);
+        for (int t = 0; t < kNumTiers; ++t) {
+            const auto tier = static_cast<Tier>(t);
+            const TierSpec &spec = config_.spec(tier);
+            rate_mb_ms_[static_cast<std::size_t>(t)] =
+                dollarsPerGbHourToMbMs(spec.dollars_per_gb_hour);
+            for (std::size_t i = 0; i < spec.server_count; ++i) {
+                Server server;
+                server.id = static_cast<ServerId>(servers_.size());
+                server.tier = tier;
+                server.capacity_mb = spec.memory_per_server_mb;
+                server.free_mb = spec.memory_per_server_mb;
+                tier_servers_[static_cast<std::size_t>(t)].push_back(
+                    server.id);
+                servers_.push_back(server);
+            }
+        }
+    }
+
+    void setNow(TimeMs now) { now_ = now; }
+    TimeMs now() const override { return now_; }
+
+    std::size_t
+    ensureWarm(FunctionId fn, Tier tier, std::size_t count,
+               TimeMs expiry) override
+    {
+        return ensureWarmImpl(fn, tier, count, expiry, nullptr);
+    }
+
+    std::size_t
+    ensureWarmEvicting(FunctionId fn, Tier tier, std::size_t count,
+                       TimeMs expiry, Policy &policy) override
+    {
+        return ensureWarmImpl(fn, tier, count, expiry, &policy);
+    }
+
+    void
+    schedulePrewarm(FunctionId fn, Tier tier, TimeMs start_time,
+                    TimeMs expiry) override
+    {
+        ICEB_ASSERT(start_time >= now_, "prewarm scheduled in the past");
+        Event event;
+        event.time = start_time;
+        event.type = EventType::PrewarmStart;
+        event.fn = fn;
+        event.tier = tier;
+        event.expiry = expiry;
+        events_.push(event);
+    }
+
+    MemoryMb
+    vacantMemoryMb(Tier tier) const override
+    {
+        MemoryMb total = 0;
+        for (ServerId sid :
+             tier_servers_[static_cast<std::size_t>(tierIndex(tier))]) {
+            total += servers_[sid].free_mb;
+        }
+        return total;
+    }
+
+    MemoryMb
+    totalMemoryMb(Tier tier) const override
+    {
+        return config_.spec(tier).totalMemoryMb();
+    }
+
+    std::size_t
+    warmCount(FunctionId fn, Tier tier) const override
+    {
+        const auto t = static_cast<std::size_t>(tierIndex(tier));
+        return pools_[fn].idle[t].size() + pools_[fn].setup[t].size();
+    }
+
+    struct Acquisition
+    {
+        ContainerId id = 0;
+        Tier tier = Tier::HighEnd;
+        TimeMs ready_at = 0;
+        bool cold = false;
+    };
+
+    std::optional<Acquisition>
+    acquireWarm(FunctionId fn, const std::array<Tier, 2> &order)
+    {
+        FunctionPools &pools = pools_[fn];
+        for (Tier tier : order) {
+            auto &idle =
+                pools.idle[static_cast<std::size_t>(tierIndex(tier))];
+            if (idle.empty())
+                continue;
+            const ContainerId id = idle.back();
+            idle.pop_back();
+            Container &c = containers_.at(id);
+            metrics_.recordKeepAlive(c.tier, fn, c.memory_mb,
+                                     now_ - c.idle_since, true,
+                                     rateMbMs(c.tier));
+            c.state = ContainerState::Running;
+            c.prewarmed_unused = false;
+            c.last_used = now_;
+            ++c.expiry_token;
+            return Acquisition{id, c.tier, now_, false};
+        }
+        return std::nullopt;
+    }
+
+    std::optional<Acquisition>
+    acquireSetup(FunctionId fn, const std::array<Tier, 2> &order)
+    {
+        FunctionPools &pools = pools_[fn];
+        for (Tier tier : order) {
+            auto &setup =
+                pools.setup[static_cast<std::size_t>(tierIndex(tier))];
+            if (setup.empty())
+                continue;
+            auto best = setup.begin();
+            for (auto it = setup.begin(); it != setup.end(); ++it) {
+                if (containers_.at(*it).ready_at <
+                    containers_.at(*best).ready_at) {
+                    best = it;
+                }
+            }
+            const ContainerId id = *best;
+            setup.erase(best);
+            Container &c = containers_.at(id);
+            c.state = ContainerState::Running;
+            c.prewarmed_unused = false;
+            c.last_used = now_;
+            ++c.expiry_token;
+            const bool still_cold = c.ready_at > now_;
+            return Acquisition{id, c.tier, std::max(c.ready_at, now_),
+                               still_cold};
+        }
+        return std::nullopt;
+    }
+
+    std::optional<Acquisition>
+    acquireCold(FunctionId fn, const std::array<Tier, 2> &order,
+                Policy &policy)
+    {
+        const workload::FunctionProfile &profile = profileOf(fn);
+        for (int pass = 0; pass < 2; ++pass) {
+            for (Tier tier : order) {
+                if (config_.spec(tier).server_count == 0)
+                    continue;
+                if (pass == 1 &&
+                    !evictToFit(tier, profile.memory_mb, policy)) {
+                    continue;
+                }
+                const ServerId server =
+                    pickServer(tier, profile.memory_mb);
+                if (server == kInvalidServer)
+                    continue;
+                const ContainerId id = createContainer(
+                    fn, tier, server, ContainerState::Running);
+                Container &c = containers_.at(id);
+                c.prewarmed_unused = false;
+                return Acquisition{id, tier, c.ready_at, true};
+            }
+        }
+        return std::nullopt;
+    }
+
+    void
+    startExecution(ContainerId id, TimeMs exec_end)
+    {
+        Container &c = containers_.at(id);
+        ICEB_ASSERT(c.state == ContainerState::Running,
+                    "container not acquired for execution");
+        (void)c;
+        (void)exec_end;
+    }
+
+    void
+    finishExecution(ContainerId id, TimeMs keep_alive_ms, Policy &policy)
+    {
+        Container &c = containers_.at(id);
+        if (keep_alive_ms <= 0) {
+            destroyContainer(c, false, &policy);
+            return;
+        }
+        becomeIdle(c, now_ + keep_alive_ms, &policy);
+    }
+
+    void
+    handlePrewarmStart(const Event &event, Policy &policy)
+    {
+        const workload::FunctionProfile &profile = profileOf(event.fn);
+        Tier tier = event.tier;
+        ServerId server = pickServer(tier, profile.memory_mb);
+        if (server == kInvalidServer) {
+            tier = otherTier(tier);
+            server = pickServer(tier, profile.memory_mb);
+        }
+        if (server == kInvalidServer &&
+            evictToFit(event.tier, profile.memory_mb, policy,
+                       event.fn)) {
+            tier = event.tier;
+            server = pickServer(tier, profile.memory_mb);
+        }
+        if (server == kInvalidServer) {
+            ++prewarm_failures_;
+            return;
+        }
+        const ContainerId id = createContainer(event.fn, tier, server,
+                                               ContainerState::Setup);
+        Container &c = containers_.at(id);
+        c.expiry = event.expiry;
+        c.prewarmed_unused = true;
+        pools_[event.fn]
+            .setup[static_cast<std::size_t>(tierIndex(tier))]
+            .push_back(id);
+
+        Event ready;
+        ready.time = c.ready_at;
+        ready.type = EventType::PrewarmReady;
+        ready.container = id;
+        events_.push(ready);
+    }
+
+    void
+    handlePrewarmReady(const Event &event, Policy &policy)
+    {
+        const auto it = containers_.find(event.container);
+        if (it == containers_.end() ||
+            it->second.state != ContainerState::Setup) {
+            return;
+        }
+        Container &c = it->second;
+        removeFromPool(pools_[c.fn].setup[static_cast<std::size_t>(
+                           tierIndex(c.tier))],
+                       c.id);
+        if (c.expiry <= now_) {
+            c.state = ContainerState::IdleWarm;
+            c.idle_since = now_;
+            pools_[c.fn]
+                .idle[static_cast<std::size_t>(tierIndex(c.tier))]
+                .push_back(c.id);
+            destroyContainer(c, true, &policy);
+            return;
+        }
+        c.state = ContainerState::IdleWarm;
+        c.idle_since = now_;
+        scheduleExpiry(c);
+        pools_[c.fn]
+            .idle[static_cast<std::size_t>(tierIndex(c.tier))]
+            .push_back(c.id);
+        pushEvictEntry(c, static_cast<double>(c.last_used));
+    }
+
+    void
+    handleContainerExpiry(const Event &event, Policy &policy)
+    {
+        const auto it = containers_.find(event.container);
+        if (it == containers_.end() ||
+            it->second.state != ContainerState::IdleWarm ||
+            it->second.expiry_token != event.token) {
+            return;
+        }
+        destroyContainer(it->second, true, &policy);
+    }
+
+    const Container &
+    container(ContainerId id) const
+    {
+        const auto it = containers_.find(id);
+        ICEB_ASSERT(it != containers_.end(), "unknown container");
+        return it->second;
+    }
+
+    std::uint32_t liveCount(FunctionId fn) const
+    {
+        return live_per_fn_[fn];
+    }
+
+  private:
+    struct EvictEntry
+    {
+        double priority = 0.0;
+        std::uint64_t seq = 0;
+        ContainerId id = 0;
+        std::uint64_t token = 0;
+
+        bool operator>(const EvictEntry &other) const
+        {
+            if (priority != other.priority)
+                return priority > other.priority;
+            return seq > other.seq;
+        }
+    };
+
+    using EvictHeap = std::priority_queue<EvictEntry,
+                                          std::vector<EvictEntry>,
+                                          std::greater<EvictEntry>>;
+
+    struct FunctionPools
+    {
+        std::array<std::vector<ContainerId>, kNumTiers> idle;
+        std::array<std::vector<ContainerId>, kNumTiers> setup;
+    };
+
+    const workload::FunctionProfile &
+    profileOf(FunctionId fn) const
+    {
+        return profiles_[fn];
+    }
+
+    double
+    rateMbMs(Tier tier) const
+    {
+        return rate_mb_ms_[static_cast<std::size_t>(tierIndex(tier))];
+    }
+
+    ServerId
+    pickServer(Tier tier, MemoryMb memory_mb) const
+    {
+        ServerId best = kInvalidServer;
+        MemoryMb best_free = memory_mb - 1;
+        for (ServerId sid :
+             tier_servers_[static_cast<std::size_t>(tierIndex(tier))]) {
+            const Server &server = servers_[sid];
+            if (server.free_mb > best_free) {
+                best_free = server.free_mb;
+                best = sid;
+            }
+        }
+        return best;
+    }
+
+    ContainerId
+    createContainer(FunctionId fn, Tier tier, ServerId server,
+                    ContainerState state)
+    {
+        const workload::FunctionProfile &profile = profileOf(fn);
+        Server &host = servers_[server];
+        host.free_mb -= profile.memory_mb;
+
+        Container c;
+        c.id = next_container_id_++;
+        c.fn = fn;
+        c.server = server;
+        c.tier = tier;
+        c.state = state;
+        c.memory_mb = profile.memory_mb;
+        c.ready_at = now_ + profile.coldStartMs(tier);
+        c.last_used = now_;
+        const ContainerId id = c.id;
+        containers_.emplace(id, c);
+        ++live_per_fn_[fn];
+        return id;
+    }
+
+    void
+    removeFromPool(std::vector<ContainerId> &pool, ContainerId id)
+    {
+        const auto it = std::find(pool.begin(), pool.end(), id);
+        ICEB_ASSERT(it != pool.end(), "container missing from pool");
+        pool.erase(it);
+    }
+
+    void
+    scheduleExpiry(Container &c)
+    {
+        ++c.expiry_token;
+        Event event;
+        event.time = c.expiry;
+        event.type = EventType::ContainerExpiry;
+        event.container = c.id;
+        event.token = c.expiry_token;
+        events_.push(event);
+    }
+
+    void
+    pushEvictEntry(const Container &c, double priority)
+    {
+        EvictEntry entry;
+        entry.priority = priority;
+        entry.seq = next_evict_seq_++;
+        entry.id = c.id;
+        entry.token = c.expiry_token;
+        evict_heaps_[static_cast<std::size_t>(tierIndex(c.tier))].push(
+            entry);
+    }
+
+    std::size_t
+    ensureWarmImpl(FunctionId fn, Tier tier, std::size_t count,
+                   TimeMs expiry, Policy *evict_with)
+    {
+        FunctionPools &pools = pools_[fn];
+        const auto t = static_cast<std::size_t>(tierIndex(tier));
+        auto &idle = pools.idle[t];
+        auto &setup = pools.setup[t];
+
+        std::size_t provisioned = 0;
+        for (auto it = idle.rbegin();
+             it != idle.rend() && provisioned < count; ++it) {
+            Container &c = containers_.at(*it);
+            if (expiry > c.expiry) {
+                c.expiry = expiry;
+                scheduleExpiry(c);
+            }
+            ++provisioned;
+        }
+        for (auto it = setup.rbegin();
+             it != setup.rend() && provisioned < count; ++it) {
+            Container &c = containers_.at(*it);
+            if (expiry > c.expiry)
+                c.expiry = expiry;
+            ++provisioned;
+        }
+
+        const workload::FunctionProfile &profile = profileOf(fn);
+        while (provisioned < count) {
+            ServerId server = pickServer(tier, profile.memory_mb);
+            if (server == kInvalidServer && evict_with &&
+                evictToFit(tier, profile.memory_mb, *evict_with, fn)) {
+                server = pickServer(tier, profile.memory_mb);
+            }
+            if (server == kInvalidServer)
+                break;
+            const ContainerId id =
+                createContainer(fn, tier, server, ContainerState::Setup);
+            Container &c = containers_.at(id);
+            c.expiry = expiry;
+            c.prewarmed_unused = true;
+            setup.push_back(id);
+
+            Event ready;
+            ready.time = c.ready_at;
+            ready.type = EventType::PrewarmReady;
+            ready.container = id;
+            events_.push(ready);
+            ++provisioned;
+        }
+        return provisioned;
+    }
+
+    void
+    becomeIdle(Container &c, TimeMs expiry, Policy *policy)
+    {
+        c.state = ContainerState::IdleWarm;
+        c.idle_since = now_;
+        c.expiry = expiry;
+        scheduleExpiry(c);
+        pools_[c.fn].idle[static_cast<std::size_t>(tierIndex(c.tier))]
+            .push_back(c.id);
+        const double priority = policy
+            ? policy->evictionPriority(c.fn, c.tier, c.last_used, now_)
+            : static_cast<double>(c.last_used);
+        pushEvictEntry(c, priority);
+    }
+
+    void
+    destroyContainer(Container &c, bool wasteful, Policy *policy)
+    {
+        if (c.state == ContainerState::IdleWarm) {
+            removeFromPool(pools_[c.fn].idle[static_cast<std::size_t>(
+                               tierIndex(c.tier))],
+                           c.id);
+            if (wasteful) {
+                metrics_.recordKeepAlive(c.tier, c.fn, c.memory_mb,
+                                         now_ - c.idle_since, false,
+                                         rateMbMs(c.tier));
+            }
+        } else if (c.state == ContainerState::Setup) {
+            removeFromPool(pools_[c.fn].setup[static_cast<std::size_t>(
+                               tierIndex(c.tier))],
+                           c.id);
+        }
+        if (wasteful && c.prewarmed_unused && policy)
+            policy->onWarmupWasted(c.fn, c.tier, now_);
+
+        servers_[c.server].free_mb += c.memory_mb;
+        --live_per_fn_[c.fn];
+        containers_.erase(c.id);
+    }
+
+    bool
+    evictToFit(Tier tier, MemoryMb memory_mb, Policy &policy,
+               FunctionId exclude_fn = kInvalidFunction)
+    {
+        EvictHeap &heap =
+            evict_heaps_[static_cast<std::size_t>(tierIndex(tier))];
+        std::vector<EvictEntry> spared;
+        while (pickServer(tier, memory_mb) == kInvalidServer) {
+            bool evicted = false;
+            while (!heap.empty()) {
+                const EvictEntry entry = heap.top();
+                heap.pop();
+                const auto it = containers_.find(entry.id);
+                if (it == containers_.end() ||
+                    it->second.state != ContainerState::IdleWarm ||
+                    it->second.expiry_token != entry.token) {
+                    continue;
+                }
+                if (it->second.fn == exclude_fn) {
+                    spared.push_back(entry);
+                    continue;
+                }
+                Container &victim = it->second;
+                policy.onEviction(victim.fn, victim.tier, now_);
+                destroyContainer(victim, true, &policy);
+                evicted = true;
+                break;
+            }
+            if (!evicted) {
+                for (const EvictEntry &entry : spared)
+                    heap.push(entry);
+                return false;
+            }
+        }
+        for (const EvictEntry &entry : spared)
+            heap.push(entry);
+        return true;
+    }
+
+    const ClusterConfig &config_;
+    const std::vector<workload::FunctionProfile> &profiles_;
+    EventQueue &events_;
+    MetricsCollector &metrics_;
+
+    TimeMs now_ = 0;
+    std::vector<Server> servers_;
+    std::array<std::vector<ServerId>, kNumTiers> tier_servers_;
+    std::array<double, kNumTiers> rate_mb_ms_{0.0, 0.0};
+
+    std::unordered_map<ContainerId, Container> containers_;
+    std::vector<FunctionPools> pools_;
+    std::array<EvictHeap, kNumTiers> evict_heaps_;
+
+    std::vector<std::uint32_t> live_per_fn_;
+    ContainerId next_container_id_ = 1;
+    std::uint64_t next_evict_seq_ = 0;
+    std::uint64_t prewarm_failures_ = 0;
+};
+
+// ------------------------------------------------------------ simulator
+
+class Simulator
+{
+  public:
+    Simulator(const trace::Trace &tr,
+              const std::vector<workload::FunctionProfile> &profiles,
+              const ClusterConfig &config, Policy &policy,
+              std::uint64_t seed)
+        : trace_(tr), profiles_(profiles), policy_(policy), seed_(seed),
+          metrics_(tr.numFunctions()),
+          cluster_(config, profiles, events_, metrics_)
+    {
+        buildArrivalSchedule();
+        context_.trace = &trace_;
+        context_.profiles = &profiles_;
+        context_.cluster = &config;
+        context_.interval_ms = trace_.intervalMs();
+        context_.arrival_schedule = &arrival_schedule_;
+    }
+
+    SimulationMetrics
+    run()
+    {
+        policy_.initialize(context_);
+        for (std::size_t iv = 0; iv < trace_.numIntervals(); ++iv) {
+            Event tick;
+            tick.time =
+                static_cast<TimeMs>(iv) * trace_.intervalMs();
+            tick.type = EventType::IntervalTick;
+            tick.interval = static_cast<IntervalIndex>(iv);
+            events_.push(tick);
+        }
+
+        while (auto event = events_.pop()) {
+            now_ = event->time;
+            cluster_.setNow(now_);
+            switch (event->type) {
+              case EventType::IntervalTick:
+                policy_.onIntervalStart(event->interval, cluster_);
+                pushIntervalArrivals(event->interval);
+                break;
+              case EventType::InvocationArrival:
+                handleArrival(event->fn, event->time);
+                break;
+              case EventType::PrewarmStart:
+                cluster_.handlePrewarmStart(*event, policy_);
+                break;
+              case EventType::PrewarmReady:
+                cluster_.handlePrewarmReady(*event, policy_);
+                drainQueue();
+                break;
+              case EventType::ExecutionComplete: {
+                const Container &c =
+                    cluster_.container(event->container);
+                const TimeMs keep_alive =
+                    policy_.keepAliveAfterExecutionMs(c.fn, c.tier,
+                                                      now_);
+                cluster_.finishExecution(event->container, keep_alive,
+                                         policy_);
+                drainQueue();
+                break;
+              }
+              case EventType::ContainerExpiry:
+                cluster_.handleContainerExpiry(*event, policy_);
+                drainQueue();
+                break;
+            }
+        }
+        return metrics_.take();
+    }
+
+  private:
+    struct QueuedInvocation
+    {
+        FunctionId fn = kInvalidFunction;
+        TimeMs arrival = 0;
+    };
+
+    void
+    buildArrivalSchedule()
+    {
+        Rng master(seed_);
+        const TimeMs interval_ms = trace_.intervalMs();
+        arrival_schedule_.resize(trace_.numFunctions());
+        arrival_cursor_.assign(trace_.numFunctions(), 0);
+
+        for (FunctionId fn = 0; fn < trace_.numFunctions(); ++fn) {
+            Rng rng = master.fork(fn);
+            const auto &series = trace_.function(fn);
+            auto &schedule = arrival_schedule_[fn];
+            schedule.reserve(series.totalInvocations());
+            for (std::size_t iv = 0; iv < series.concurrency.size();
+                 ++iv) {
+                const std::uint32_t count = series.concurrency[iv];
+                if (count == 0)
+                    continue;
+                const TimeMs base =
+                    static_cast<TimeMs>(iv) * interval_ms;
+                const TimeMs span =
+                    std::min<TimeMs>(5000, interval_ms - 1);
+                const TimeMs offset = static_cast<TimeMs>(
+                    rng.uniformInt(0, interval_ms - 1 - span));
+                std::vector<TimeMs> times;
+                times.reserve(count);
+                for (std::uint32_t i = 0; i < count; ++i) {
+                    times.push_back(base + offset +
+                                    static_cast<TimeMs>(
+                                        rng.uniformInt(0, span)));
+                }
+                std::sort(times.begin(), times.end());
+                schedule.insert(schedule.end(), times.begin(),
+                                times.end());
+            }
+        }
+    }
+
+    void
+    pushIntervalArrivals(IntervalIndex interval)
+    {
+        const TimeMs interval_end =
+            (static_cast<TimeMs>(interval) + 1) * trace_.intervalMs();
+        for (FunctionId fn = 0; fn < trace_.numFunctions(); ++fn) {
+            const auto &schedule = arrival_schedule_[fn];
+            std::size_t &cursor = arrival_cursor_[fn];
+            while (cursor < schedule.size() &&
+                   schedule[cursor] < interval_end) {
+                Event event;
+                event.time = schedule[cursor];
+                event.type = EventType::InvocationArrival;
+                event.fn = fn;
+                events_.push(event);
+                ++cursor;
+            }
+        }
+    }
+
+    void
+    handleArrival(FunctionId fn, TimeMs arrival)
+    {
+        if (!wait_queue_.empty()) {
+            wait_queue_.push_back(QueuedInvocation{fn, arrival});
+            return;
+        }
+        if (!tryPlace(fn, arrival))
+            wait_queue_.push_back(QueuedInvocation{fn, arrival});
+    }
+
+    bool
+    tryPlace(FunctionId fn, TimeMs arrival)
+    {
+        const std::array<Tier, 2> order = policy_.coldPlacementOrder(fn);
+
+        if (auto acq = cluster_.acquireWarm(fn, order)) {
+            startExecution(*acq, fn, arrival);
+            return true;
+        }
+        if (auto acq = cluster_.acquireSetup(fn, order)) {
+            if (acq->cold)
+                metrics_.recordColdCause(true, true);
+            startExecution(*acq, fn, arrival);
+            return true;
+        }
+        const bool had_live = cluster_.liveCount(fn) > 0;
+        if (auto acq = cluster_.acquireCold(fn, order, policy_)) {
+            metrics_.recordColdCause(false, had_live);
+            startExecution(*acq, fn, arrival);
+            return true;
+        }
+        return false;
+    }
+
+    void
+    startExecution(const ClusterState::Acquisition &acq, FunctionId fn,
+                   TimeMs arrival)
+    {
+        const workload::FunctionProfile &profile = profiles_[fn];
+        const TimeMs exec_ms = profile.execMs(acq.tier);
+        const TimeMs exec_start = acq.ready_at;
+        const TimeMs exec_end = exec_start + exec_ms;
+
+        cluster_.startExecution(acq.id, exec_end);
+        policy_.onExecutionStart(fn, acq.tier, acq.cold, now_);
+
+        Event done;
+        done.time = exec_end;
+        done.type = EventType::ExecutionComplete;
+        done.container = acq.id;
+        done.fn = fn;
+        events_.push(done);
+
+        sim::InvocationOutcome outcome;
+        outcome.fn = fn;
+        outcome.tier = acq.tier;
+        outcome.cold = acq.cold;
+        outcome.arrival = arrival;
+        outcome.wait_ms = now_ - arrival;
+        outcome.cold_start_ms = acq.cold ? exec_start - now_ : 0;
+        outcome.exec_ms = exec_ms;
+        outcome.overhead_ms = policy_.overheadMs();
+        metrics_.recordInvocation(outcome);
+    }
+
+    void
+    drainQueue()
+    {
+        while (!wait_queue_.empty()) {
+            const QueuedInvocation head = wait_queue_.front();
+            if (!tryPlace(head.fn, head.arrival))
+                break;
+            wait_queue_.pop_front();
+        }
+    }
+
+    const trace::Trace &trace_;
+    const std::vector<workload::FunctionProfile> &profiles_;
+    Policy &policy_;
+    std::uint64_t seed_;
+
+    EventQueue events_;
+    MetricsCollector metrics_;
+    ClusterState cluster_;
+    sim::SimContext context_;
+
+    std::vector<std::vector<TimeMs>> arrival_schedule_;
+    std::vector<std::size_t> arrival_cursor_;
+
+    std::deque<QueuedInvocation> wait_queue_;
+    TimeMs now_ = 0;
+};
+
+} // namespace legacy_sim
+
+#endif // ICEB_BENCH_LEGACY_SIM_HH

@@ -1,6 +1,7 @@
 #include "sim/cluster.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.hh"
 #include "common/units.hh"
@@ -11,7 +12,8 @@ namespace iceb::sim
 ClusterState::ClusterState(
     const ClusterConfig &config,
     const std::vector<workload::FunctionProfile> &profiles,
-    EventQueue &events, MetricsCollector &metrics)
+    EventQueue &events, MetricsCollector &metrics,
+    const SimCapacityHints &hints)
     : config_(config), profiles_(profiles), events_(events),
       metrics_(metrics)
 {
@@ -31,8 +33,22 @@ ClusterState::ClusterState(
             tier_servers_[static_cast<std::size_t>(t)].push_back(
                 server.id);
             servers_.push_back(server);
+            tier_free_[static_cast<std::size_t>(t)] +=
+                spec.memory_per_server_mb;
         }
     }
+    for (int t = 0; t < kNumTiers; ++t) {
+        server_heaps_[static_cast<std::size_t>(t)].init(
+            tier_servers_[static_cast<std::size_t>(t)], servers_,
+            servers_.size());
+    }
+
+    containers_.reserve(hints.containers);
+    expiry_stamps_.reserve(hints.containers);
+    for (auto &heap : evict_heaps_)
+        heap.reserve(hints.evict_entries);
+    evict_high_water_.fill(-std::numeric_limits<double>::infinity());
+    evict_spared_.reserve(hints.evict_entries);
 }
 
 const workload::FunctionProfile &
@@ -52,32 +68,111 @@ ServerId
 ClusterState::pickServer(Tier tier, MemoryMb memory_mb) const
 {
     // Worst-fit: the server with the most free memory, which balances
-    // load and leaves room for large functions elsewhere.
-    ServerId best = kInvalidServer;
-    MemoryMb best_free = memory_mb - 1;
-    for (ServerId sid :
-         tier_servers_[static_cast<std::size_t>(tierIndex(tier))]) {
-        const Server &server = servers_[sid];
-        if (server.free_mb > best_free) {
-            best_free = server.free_mb;
-            best = sid;
+    // load and leaves room for large functions elsewhere. The tier
+    // heap's root is that server (ties towards the lowest id, same as
+    // the old first-maximum scan).
+    const ServerId sid =
+        server_heaps_[static_cast<std::size_t>(tierIndex(tier))].top();
+    if (sid == kInvalidServer || servers_[sid].free_mb < memory_mb)
+        return kInvalidServer;
+    return sid;
+}
+
+// ------------------------------------------------- intrusive pool lists
+
+void
+ClusterState::poolPushBack(PoolList &list, Container &c)
+{
+    const std::uint32_t slot = SlotMap<Container>::slotOf(c.id);
+    c.pool_prev = list.tail;
+    c.pool_next = kNullSlot;
+    if (list.tail != kNullSlot)
+        containers_.atSlot(list.tail).pool_next = slot;
+    else
+        list.head = slot;
+    list.tail = slot;
+    ++list.size;
+}
+
+void
+ClusterState::poolUnlink(PoolList &list, Container &c)
+{
+    const std::uint32_t slot = SlotMap<Container>::slotOf(c.id);
+    if (c.pool_prev != kNullSlot) {
+        containers_.atSlot(c.pool_prev).pool_next = c.pool_next;
+    } else {
+        ICEB_ASSERT(list.head == slot, "container not in this pool");
+        list.head = c.pool_next;
+    }
+    if (c.pool_next != kNullSlot) {
+        containers_.atSlot(c.pool_next).pool_prev = c.pool_prev;
+    } else {
+        ICEB_ASSERT(list.tail == slot, "container not in this pool");
+        list.tail = c.pool_prev;
+    }
+    c.pool_prev = kNullSlot;
+    c.pool_next = kNullSlot;
+    ICEB_ASSERT(list.size > 0, "pool size underflow");
+    --list.size;
+}
+
+void
+ClusterState::setupPushBack(SetupList &list, Container &c)
+{
+    poolPushBack(list, c);
+    // Strict less-than keeps the earlier-inserted container on ties,
+    // matching the old first-minimum scan.
+    if (list.min_slot == kNullSlot ||
+        c.ready_at < containers_.atSlot(list.min_slot).ready_at) {
+        list.min_slot = SlotMap<Container>::slotOf(c.id);
+    }
+}
+
+void
+ClusterState::setupUnlink(SetupList &list, Container &c)
+{
+    const std::uint32_t slot = SlotMap<Container>::slotOf(c.id);
+    poolUnlink(list, c);
+    if (list.min_slot != slot)
+        return;
+    // The minimum left: rescan head-to-tail (insertion order, so the
+    // strict < again favours the earliest-inserted of equal
+    // ready_at). Setup pools are small -- a handful of in-flight
+    // warm-ups per (function, tier) -- and ready_at never changes, so
+    // this stays cheap and exactly mirrors the old scan's tie-break.
+    list.min_slot = list.head;
+    for (std::uint32_t s = list.head; s != kNullSlot;
+         s = containers_.atSlot(s).pool_next) {
+        if (containers_.atSlot(s).ready_at <
+            containers_.atSlot(list.min_slot).ready_at) {
+            list.min_slot = s;
         }
     }
-    return best;
 }
+
+// ----------------------------------------------------------- lifecycle
 
 ContainerId
 ClusterState::createContainer(FunctionId fn, Tier tier, ServerId server,
                               ContainerState state)
 {
     const workload::FunctionProfile &profile = profileOf(fn);
+    const auto t = static_cast<std::size_t>(tierIndex(tier));
     Server &host = servers_[server];
     ICEB_ASSERT(host.free_mb >= profile.memory_mb,
                 "server has no room for container");
     host.free_mb -= profile.memory_mb;
+    server_heaps_[t].update(server, servers_);
+    tier_free_[t] -= profile.memory_mb;
 
-    Container c;
-    c.id = next_container_id_++;
+    const ContainerId id = containers_.insert();
+    const std::uint32_t slot = SlotMap<Container>::slotOf(id);
+    if (slot >= expiry_stamps_.size())
+        expiry_stamps_.resize(slot + 1, 0);
+    else
+        expiry_stamps_[slot] = 0;
+    Container &c = containers_.at(id);
+    c.id = id;
     c.fn = fn;
     c.server = server;
     c.tier = tier;
@@ -85,42 +180,56 @@ ClusterState::createContainer(FunctionId fn, Tier tier, ServerId server,
     c.memory_mb = profile.memory_mb;
     c.ready_at = now_ + profile.coldStartMs(tier);
     c.last_used = now_;
-    const ContainerId id = c.id;
-    containers_.emplace(id, c);
     ++live_per_fn_[fn];
-    return id;
-}
 
-void
-ClusterState::removeFromPool(std::vector<ContainerId> &pool,
-                             ContainerId id)
-{
-    const auto it = std::find(pool.begin(), pool.end(), id);
-    ICEB_ASSERT(it != pool.end(), "container missing from pool");
-    pool.erase(it);
+    EventLoopStats &stats = metrics_.eventLoop();
+    if (containers_.size() > stats.peak_live_containers)
+        stats.peak_live_containers = containers_.size();
+    return id;
 }
 
 void
 ClusterState::scheduleExpiry(Container &c)
 {
     ++c.expiry_token;
+    const std::uint64_t stamp = ++next_expiry_stamp_;
+    expiry_stamps_[SlotMap<Container>::slotOf(c.id)] = stamp;
     Event event;
     event.time = c.expiry;
     event.type = EventType::ContainerExpiry;
     event.container = c.id;
-    event.token = c.expiry_token;
+    event.token = stamp;
     events_.push(event);
 }
 
 void
 ClusterState::pushEvictEntry(const Container &c, double priority)
 {
+    const auto t = static_cast<std::size_t>(tierIndex(c.tier));
+    const std::uint32_t slot = SlotMap<Container>::slotOf(c.id);
     EvictEntry entry;
     entry.priority = priority;
-    entry.seq = next_evict_seq_++;
-    entry.id = c.id;
-    entry.token = c.expiry_token;
-    evict_heaps_[static_cast<std::size_t>(tierIndex(c.tier))].push(entry);
+    entry.stamp = expiry_stamps_[slot];
+    entry.slot = slot;
+    entry.seq = static_cast<std::uint32_t>(next_evict_seq_++);
+    ICEB_ASSERT(entry.stamp != 0,
+                "evict candidate pushed without a scheduled expiry");
+    EvictHeap &heap = evict_heaps_[t];
+    heap.push_back(entry);
+    if (priority >= evict_high_water_[t]) {
+        // Outranks (priority, then the fresh seq) everything ever
+        // pushed, hence everything still pending: the tail slot
+        // already satisfies the heap invariant, and std::pop_heap's
+        // victim order is layout-independent because the comparator
+        // is a strict total order.
+        evict_high_water_[t] = priority;
+    } else {
+        std::push_heap(heap.begin(), heap.end(), EvictLater{});
+    }
+
+    EventLoopStats &stats = metrics_.eventLoop();
+    if (heap.size() > stats.peak_evict_entries)
+        stats.peak_evict_entries = heap.size();
 }
 
 std::size_t
@@ -145,24 +254,27 @@ ClusterState::ensureWarmImpl(FunctionId fn, Tier tier, std::size_t count,
     ICEB_ASSERT(fn < pools_.size(), "ensureWarm for unknown function");
     FunctionPools &pools = pools_[fn];
     const auto t = static_cast<std::size_t>(tierIndex(tier));
-    auto &idle = pools.idle[t];
-    auto &setup = pools.setup[t];
+    PoolList &idle = pools.idle[t];
+    SetupList &setup = pools.setup[t];
 
     std::size_t provisioned = 0;
 
-    // Renew existing instances, newest first, up to the target count.
-    for (auto it = idle.rbegin();
-         it != idle.rend() && provisioned < count; ++it) {
-        Container &c = containers_.at(*it);
+    // Renew existing instances, newest first (tail to head), up to the
+    // target count.
+    for (std::uint32_t s = idle.tail;
+         s != kNullSlot && provisioned < count;
+         s = containers_.atSlot(s).pool_prev) {
+        Container &c = containers_.atSlot(s);
         if (expiry > c.expiry) {
             c.expiry = expiry;
             scheduleExpiry(c);
         }
         ++provisioned;
     }
-    for (auto it = setup.rbegin();
-         it != setup.rend() && provisioned < count; ++it) {
-        Container &c = containers_.at(*it);
+    for (std::uint32_t s = setup.tail;
+         s != kNullSlot && provisioned < count;
+         s = containers_.atSlot(s).pool_prev) {
+        Container &c = containers_.atSlot(s);
         if (expiry > c.expiry)
             c.expiry = expiry;
         ++provisioned;
@@ -184,7 +296,7 @@ ClusterState::ensureWarmImpl(FunctionId fn, Tier tier, std::size_t count,
         Container &c = containers_.at(id);
         c.expiry = expiry;
         c.prewarmed_unused = true;
-        setup.push_back(id);
+        setupPushBack(setup, c);
 
         Event ready;
         ready.time = c.ready_at;
@@ -213,12 +325,7 @@ ClusterState::schedulePrewarm(FunctionId fn, Tier tier, TimeMs start_time,
 MemoryMb
 ClusterState::vacantMemoryMb(Tier tier) const
 {
-    MemoryMb total = 0;
-    for (ServerId sid :
-         tier_servers_[static_cast<std::size_t>(tierIndex(tier))]) {
-        total += servers_[sid].free_mb;
-    }
-    return total;
+    return tier_free_[static_cast<std::size_t>(tierIndex(tier))];
 }
 
 MemoryMb
@@ -232,7 +339,8 @@ ClusterState::warmCount(FunctionId fn, Tier tier) const
 {
     ICEB_ASSERT(fn < pools_.size(), "warmCount for unknown function");
     const auto t = static_cast<std::size_t>(tierIndex(tier));
-    return pools_[fn].idle[t].size() + pools_[fn].setup[t].size();
+    return static_cast<std::size_t>(pools_[fn].idle[t].size) +
+        static_cast<std::size_t>(pools_[fn].setup[t].size);
 }
 
 std::optional<ClusterState::Acquisition>
@@ -240,14 +348,14 @@ ClusterState::acquireWarm(FunctionId fn, const std::array<Tier, 2> &order)
 {
     FunctionPools &pools = pools_[fn];
     for (Tier tier : order) {
-        auto &idle = pools.idle[static_cast<std::size_t>(tierIndex(tier))];
-        if (idle.empty())
+        PoolList &idle =
+            pools.idle[static_cast<std::size_t>(tierIndex(tier))];
+        if (idle.size == 0)
             continue;
         // LIFO: take the most recently idled container so older ones
         // drain out through expiry.
-        const ContainerId id = idle.back();
-        idle.pop_back();
-        Container &c = containers_.at(id);
+        Container &c = containers_.atSlot(idle.tail);
+        poolUnlink(idle, c);
         ICEB_ASSERT(c.state == ContainerState::IdleWarm,
                     "idle pool out of sync");
         metrics_.recordKeepAlive(c.tier, fn, c.memory_mb,
@@ -257,7 +365,8 @@ ClusterState::acquireWarm(FunctionId fn, const std::array<Tier, 2> &order)
         c.prewarmed_unused = false;
         c.last_used = now_;
         ++c.expiry_token; // cancel any pending expiry
-        return Acquisition{id, c.tier, now_, false};
+        expiry_stamps_[SlotMap<Container>::slotOf(c.id)] = 0;
+        return Acquisition{c.id, c.tier, now_, false};
     }
     return std::nullopt;
 }
@@ -267,29 +376,22 @@ ClusterState::acquireSetup(FunctionId fn, const std::array<Tier, 2> &order)
 {
     FunctionPools &pools = pools_[fn];
     for (Tier tier : order) {
-        auto &setup =
+        SetupList &setup =
             pools.setup[static_cast<std::size_t>(tierIndex(tier))];
-        if (setup.empty())
+        if (setup.size == 0)
             continue;
-        // Pick the container closest to readiness.
-        auto best = setup.begin();
-        for (auto it = setup.begin(); it != setup.end(); ++it) {
-            if (containers_.at(*it).ready_at <
-                containers_.at(*best).ready_at) {
-                best = it;
-            }
-        }
-        const ContainerId id = *best;
-        setup.erase(best);
-        Container &c = containers_.at(id);
+        // Pick the container closest to readiness (cached minimum).
+        Container &c = containers_.atSlot(setup.min_slot);
+        setupUnlink(setup, c);
         ICEB_ASSERT(c.state == ContainerState::Setup,
                     "setup pool out of sync");
         c.state = ContainerState::Running;
         c.prewarmed_unused = false;
         c.last_used = now_;
         ++c.expiry_token;
+        expiry_stamps_[SlotMap<Container>::slotOf(c.id)] = 0;
         const bool still_cold = c.ready_at > now_;
-        return Acquisition{id, c.tier, std::max(c.ready_at, now_),
+        return Acquisition{c.id, c.tier, std::max(c.ready_at, now_),
                            still_cold};
     }
     return std::nullopt;
@@ -328,6 +430,7 @@ ClusterState::startExecution(ContainerId id, TimeMs exec_end)
     Container &c = containers_.at(id);
     ICEB_ASSERT(c.state == ContainerState::Running,
                 "container not acquired for execution");
+    (void)c;
     (void)exec_end; // completion is scheduled by the simulator
 }
 
@@ -352,8 +455,9 @@ ClusterState::becomeIdle(Container &c, TimeMs expiry, Policy *policy)
     c.idle_since = now_;
     c.expiry = expiry;
     scheduleExpiry(c);
-    pools_[c.fn].idle[static_cast<std::size_t>(tierIndex(c.tier))]
-        .push_back(c.id);
+    poolPushBack(
+        pools_[c.fn].idle[static_cast<std::size_t>(tierIndex(c.tier))],
+        c);
     const double priority = policy
         ? policy->evictionPriority(c.fn, c.tier, c.last_used, now_)
         : static_cast<double>(c.last_used);
@@ -364,32 +468,30 @@ void
 ClusterState::destroyContainer(Container &c, bool wasteful,
                                Policy *policy)
 {
+    const auto t = static_cast<std::size_t>(tierIndex(c.tier));
     if (c.state == ContainerState::IdleWarm) {
-        removeFromPool(
-            pools_[c.fn].idle[static_cast<std::size_t>(
-                tierIndex(c.tier))],
-            c.id);
+        poolUnlink(pools_[c.fn].idle[t], c);
         if (wasteful) {
             metrics_.recordKeepAlive(c.tier, c.fn, c.memory_mb,
                                      now_ - c.idle_since, false,
                                      rateMbMs(c.tier));
         }
     } else if (c.state == ContainerState::Setup) {
-        removeFromPool(
-            pools_[c.fn].setup[static_cast<std::size_t>(
-                tierIndex(c.tier))],
-            c.id);
+        setupUnlink(pools_[c.fn].setup[t], c);
     }
     if (wasteful && c.prewarmed_unused && policy)
         policy->onWarmupWasted(c.fn, c.tier, now_);
 
-    servers_[c.server].free_mb += c.memory_mb;
-    ICEB_ASSERT(servers_[c.server].free_mb <=
-                    servers_[c.server].capacity_mb,
+    Server &host = servers_[c.server];
+    host.free_mb += c.memory_mb;
+    ICEB_ASSERT(host.free_mb <= host.capacity_mb,
                 "server memory over-freed");
+    server_heaps_[t].update(c.server, servers_);
+    tier_free_[t] += c.memory_mb;
     ICEB_ASSERT(live_per_fn_[c.fn] > 0, "live count underflow");
     --live_per_fn_[c.fn];
-    containers_.erase(c.id);
+    expiry_stamps_[SlotMap<Container>::slotOf(c.id)] = 0;
+    containers_.erase(c.id); // invalidates c
 }
 
 bool
@@ -398,37 +500,45 @@ ClusterState::evictToFit(Tier tier, MemoryMb memory_mb, Policy &policy,
 {
     EvictHeap &heap =
         evict_heaps_[static_cast<std::size_t>(tierIndex(tier))];
-    std::vector<EvictEntry> spared;
+    EventLoopStats &stats = metrics_.eventLoop();
+    // Scratch window for this call's spared entries; index-based so
+    // re-entrant calls (none today) would still compose.
+    const std::size_t spared_base = evict_spared_.size();
+    bool fits = true;
     while (pickServer(tier, memory_mb) == kInvalidServer) {
         bool evicted = false;
         while (!heap.empty()) {
-            const EvictEntry entry = heap.top();
-            heap.pop();
-            const auto it = containers_.find(entry.id);
-            if (it == containers_.end() ||
-                it->second.state != ContainerState::IdleWarm ||
-                it->second.expiry_token != entry.token) {
-                continue; // stale heap entry
+            std::pop_heap(heap.begin(), heap.end(), EvictLater{});
+            const EvictEntry entry = heap.back();
+            heap.pop_back();
+            ++stats.eviction_victims_examined;
+            if (entry.stamp != expiry_stamps_[entry.slot]) {
+                ++stats.stale_evict_entries;
+                continue; // acquired, destroyed, or re-idled since
             }
-            if (it->second.fn == exclude_fn) {
-                spared.push_back(entry);
+            Container *victim = &containers_.atSlot(entry.slot);
+            ICEB_ASSERT(victim->state == ContainerState::IdleWarm,
+                        "evict stamp out of sync");
+            if (victim->fn == exclude_fn) {
+                evict_spared_.push_back(entry);
                 continue;
             }
-            Container &victim = it->second;
-            policy.onEviction(victim.fn, victim.tier, now_);
-            destroyContainer(victim, true, &policy);
+            policy.onEviction(victim->fn, victim->tier, now_);
+            destroyContainer(*victim, true, &policy);
             evicted = true;
             break;
         }
         if (!evicted) {
-            for (const EvictEntry &entry : spared)
-                heap.push(entry);
-            return false;
+            fits = false;
+            break;
         }
     }
-    for (const EvictEntry &entry : spared)
-        heap.push(entry);
-    return true;
+    for (std::size_t i = spared_base; i < evict_spared_.size(); ++i) {
+        heap.push_back(evict_spared_[i]);
+        std::push_heap(heap.begin(), heap.end(), EvictLater{});
+    }
+    evict_spared_.resize(spared_base);
+    return fits;
 }
 
 void
@@ -457,9 +567,10 @@ ClusterState::handlePrewarmStart(const Event &event, Policy &policy)
     Container &c = containers_.at(id);
     c.expiry = event.expiry;
     c.prewarmed_unused = true;
-    pools_[event.fn]
-        .setup[static_cast<std::size_t>(tierIndex(tier))]
-        .push_back(id);
+    setupPushBack(
+        pools_[event.fn]
+            .setup[static_cast<std::size_t>(tierIndex(tier))],
+        c);
 
     Event ready;
     ready.time = c.ready_at;
@@ -471,50 +582,56 @@ ClusterState::handlePrewarmStart(const Event &event, Policy &policy)
 void
 ClusterState::handlePrewarmReady(const Event &event, Policy &policy)
 {
-    const auto it = containers_.find(event.container);
-    if (it == containers_.end() ||
-        it->second.state != ContainerState::Setup) {
+    Container *cp = containers_.find(event.container);
+    if (cp == nullptr || cp->state != ContainerState::Setup)
         return; // attached or destroyed while in setup
-    }
-    Container &c = it->second;
-    removeFromPool(
-        pools_[c.fn].setup[static_cast<std::size_t>(tierIndex(c.tier))],
-        c.id);
+    Container &c = *cp;
     if (c.expiry <= now_) {
-        // Keep-alive lapsed during setup; zero-length idle period.
-        c.state = ContainerState::IdleWarm;
-        c.idle_since = now_;
-        pools_[c.fn].idle[static_cast<std::size_t>(tierIndex(c.tier))]
-            .push_back(c.id);
+        // Keep-alive lapsed during setup: destroy straight from the
+        // setup pool. A zero-length idle period records nothing (the
+        // collector ignores idle_ms <= 0) and the wasted-warmup
+        // callback still fires inside destroyContainer, so this is
+        // equivalent to -- and cheaper than -- the old push-into-idle
+        // -then-destroy dance.
         destroyContainer(c, true, &policy);
         return;
     }
+    setupUnlink(
+        pools_[c.fn].setup[static_cast<std::size_t>(tierIndex(c.tier))],
+        c);
     c.state = ContainerState::IdleWarm;
     c.idle_since = now_;
     scheduleExpiry(c);
-    pools_[c.fn].idle[static_cast<std::size_t>(tierIndex(c.tier))]
-        .push_back(c.id);
+    poolPushBack(
+        pools_[c.fn].idle[static_cast<std::size_t>(tierIndex(c.tier))],
+        c);
     pushEvictEntry(c, static_cast<double>(c.last_used));
 }
 
 void
 ClusterState::handleContainerExpiry(const Event &event, Policy &policy)
 {
-    const auto it = containers_.find(event.container);
-    if (it == containers_.end() ||
-        it->second.state != ContainerState::IdleWarm ||
-        it->second.expiry_token != event.token) {
+    // Stamps are globally unique and zeroed on acquire/destroy, so a
+    // match certifies the container is alive, idle, and that this is
+    // its newest scheduled expiry -- without touching the arena.
+    const std::uint32_t slot =
+        SlotMap<Container>::slotOf(event.container);
+    if (slot >= expiry_stamps_.size() ||
+        expiry_stamps_[slot] != event.token) {
+        ++metrics_.eventLoop().stale_expiry_events;
         return; // renewed, in use, or already gone
     }
-    destroyContainer(it->second, true, &policy);
+    Container &c = containers_.atSlot(slot);
+    ICEB_ASSERT(c.id == event.container &&
+                    c.state == ContainerState::IdleWarm,
+                "expiry stamp out of sync");
+    destroyContainer(c, true, &policy);
 }
 
 const Container &
 ClusterState::container(ContainerId id) const
 {
-    const auto it = containers_.find(id);
-    ICEB_ASSERT(it != containers_.end(), "unknown container");
-    return it->second;
+    return containers_.at(id);
 }
 
 } // namespace iceb::sim

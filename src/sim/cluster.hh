@@ -14,14 +14,28 @@
  *  - setup and execution time occupy memory but are not keep-alive
  *    cost (so the Oracle's just-in-time scheme is genuinely free, as
  *    the paper defines it).
+ *
+ * Hot-path data structures (PR 4, all preserving byte-identical
+ * outputs -- see DESIGN.md section 9):
+ *
+ *  - containers live in a generational SlotMap arena; stale event and
+ *    evict-heap references fail a generation check instead of a hash
+ *    probe;
+ *  - each tier keeps an indexed max-heap over server free memory, so
+ *    worst-fit placement and the evictToFit loop are O(log servers)
+ *    instead of O(servers) per step;
+ *  - the idle/setup pools are intrusive doubly-linked lists threaded
+ *    through the containers (O(1) removal anywhere). Linked lists --
+ *    not swap-and-pop -- because the pools are *ordered*: acquireWarm
+ *    takes the LIFO tail and ensureWarm renews newest-first, so
+ *    scrambling the order would change which containers serve and
+ *    which expire, and with them every figure's cost attribution.
  */
 
 #ifndef ICEB_SIM_CLUSTER_HH
 #define ICEB_SIM_CLUSTER_HH
 
 #include <optional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -29,6 +43,8 @@
 #include "sim/event_queue.hh"
 #include "sim/metrics.hh"
 #include "sim/policy.hh"
+#include "sim/server_heap.hh"
+#include "sim/slot_map.hh"
 #include "workload/function_profile.hh"
 
 namespace iceb::sim
@@ -41,6 +57,9 @@ enum class ContainerState : std::uint8_t
     IdleWarm, //!< warm, waiting for an invocation; accrues cost
     Running,  //!< executing an invocation
 };
+
+/** "No slot" sentinel for the intrusive pool links. */
+inline constexpr std::uint32_t kNullSlot = 0xffff'ffffu;
 
 /** One container instance. */
 struct Container
@@ -58,6 +77,10 @@ struct Container
     TimeMs last_used = 0;   //!< last execution start (or ready time)
     std::uint64_t expiry_token = 0; //!< invalidates stale expiry events
     bool prewarmed_unused = false;  //!< warmed by policy, not yet used
+
+    /** Intrusive idle/setup pool links (slot indices). */
+    std::uint32_t pool_prev = kNullSlot;
+    std::uint32_t pool_next = kNullSlot;
 };
 
 /** One physical server's memory ledger. */
@@ -70,6 +93,21 @@ struct Server
 };
 
 /**
+ * Pre-sizing hints for a run's dynamic structures; with all four set
+ * to a previous run's peaks (SimulationMetrics::event_loop), a repeat
+ * run performs zero steady-state allocations. Zero means "grow on
+ * demand" (amortised, exactly as before).
+ */
+struct SimCapacityHints
+{
+    std::size_t containers = 0;    //!< slot-map arena slots
+    std::size_t events = 0;        //!< pending-event queue + payload pool
+    std::size_t events_per_bucket = 0; //!< calendar-queue bucket depth
+    std::size_t evict_entries = 0; //!< per-tier eviction heap entries
+    std::size_t wait_queue = 0;    //!< FIFO wait-queue ring capacity
+};
+
+/**
  * The mutable cluster: implements the policy-facing WarmupInterface
  * and the simulator-facing placement/lifecycle operations.
  */
@@ -78,7 +116,8 @@ class ClusterState : public WarmupInterface
   public:
     ClusterState(const ClusterConfig &config,
                  const std::vector<workload::FunctionProfile> &profiles,
-                 EventQueue &events, MetricsCollector &metrics);
+                 EventQueue &events, MetricsCollector &metrics,
+                 const SimCapacityHints &hints = {});
 
     /** Advance the cluster's notion of "now". */
     void setNow(TimeMs now) { now_ = now; }
@@ -147,6 +186,17 @@ class ClusterState : public WarmupInterface
     /** Container lookup (asserts existence). */
     const Container &container(ContainerId id) const;
 
+    /**
+     * Prefetch the arena record behind @p id (possibly stale; 0 is
+     * fine). Pure performance hint -- the event loop issues it for
+     * the next pending event so the line arrives while the current
+     * handler's work is still in flight.
+     */
+    void prefetchContainer(ContainerId id) const
+    {
+        containers_.prefetch(SlotMap<Container>::slotOf(id));
+    }
+
     /** Live container count (all states). */
     std::size_t liveContainers() const { return containers_.size(); }
 
@@ -160,12 +210,19 @@ class ClusterState : public WarmupInterface
     std::uint64_t prewarmFailures() const { return prewarm_failures_; }
 
   private:
+    /**
+     * Lazy eviction-candidate record, 24 bytes: every idle spell
+     * pushes one and stale ones are skipped at pop. Validity is one
+     * stamp compare -- the entry snapshots the container's expiry
+     * stamp, which changes at exactly the moments the candidacy dies
+     * (acquired, destroyed, or idled again with a fresh entry).
+     */
     struct EvictEntry
     {
         double priority = 0.0;
-        std::uint64_t seq = 0;
-        ContainerId id = 0;
-        std::uint64_t token = 0;
+        std::uint64_t stamp = 0; //!< expiry stamp snapshot
+        std::uint32_t slot = 0;  //!< container arena slot
+        std::uint32_t seq = 0;   //!< push order, for deterministic ties
 
         bool operator>(const EvictEntry &other) const
         {
@@ -175,15 +232,36 @@ class ClusterState : public WarmupInterface
         }
     };
 
-    using EvictHeap = std::priority_queue<EvictEntry,
-                                          std::vector<EvictEntry>,
-                                          std::greater<EvictEntry>>;
+    /** Min-heap order (lowest priority evicted first). */
+    struct EvictLater
+    {
+        bool operator()(const EvictEntry &a, const EvictEntry &b) const
+        {
+            return a > b;
+        }
+    };
 
-    /** Per-function per-tier container-id pools. */
+    using EvictHeap = std::vector<EvictEntry>;
+
+    /** Intrusive container list in insertion order. */
+    struct PoolList
+    {
+        std::uint32_t head = kNullSlot;
+        std::uint32_t tail = kNullSlot;
+        std::uint32_t size = 0;
+    };
+
+    /** Setup pool: insertion-ordered list + cached min-ready_at slot. */
+    struct SetupList : PoolList
+    {
+        std::uint32_t min_slot = kNullSlot;
+    };
+
+    /** Per-function per-tier container pools. */
     struct FunctionPools
     {
-        std::array<std::vector<ContainerId>, kNumTiers> idle;
-        std::array<std::vector<ContainerId>, kNumTiers> setup;
+        std::array<PoolList, kNumTiers> idle;
+        std::array<SetupList, kNumTiers> setup;
     };
 
     const workload::FunctionProfile &profileOf(FunctionId fn) const;
@@ -198,9 +276,13 @@ class ClusterState : public WarmupInterface
     std::size_t ensureWarmImpl(FunctionId fn, Tier tier,
                                std::size_t count, TimeMs expiry,
                                Policy *evict_with);
-    void removeFromPool(std::vector<ContainerId> &pool, ContainerId id);
     void scheduleExpiry(Container &c);
     void pushEvictEntry(const Container &c, double priority);
+
+    void poolPushBack(PoolList &list, Container &c);
+    void poolUnlink(PoolList &list, Container &c);
+    void setupPushBack(SetupList &list, Container &c);
+    void setupUnlink(SetupList &list, Container &c);
 
     const ClusterConfig &config_;
     const std::vector<workload::FunctionProfile> &profiles_;
@@ -210,14 +292,37 @@ class ClusterState : public WarmupInterface
     TimeMs now_ = 0;
     std::vector<Server> servers_;
     std::array<std::vector<ServerId>, kNumTiers> tier_servers_;
+    std::array<ServerFreeHeapT<std::vector<Server>>, kNumTiers>
+        server_heaps_;
+    std::array<MemoryMb, kNumTiers> tier_free_{0, 0};
     std::array<double, kNumTiers> rate_mb_ms_{0.0, 0.0};
 
-    std::unordered_map<ContainerId, Container> containers_;
+    SlotMap<Container> containers_;
     std::vector<FunctionPools> pools_; //!< indexed by FunctionId
     std::array<EvictHeap, kNumTiers> evict_heaps_;
+    /**
+     * High-water mark of the priorities ever pushed per tier. Default
+     * policies emit monotone priorities (last-used time), so a new
+     * entry usually outranks everything pending and can sit at the
+     * heap's tail without a sift -- std::push_heap would place it
+     * there too, but only after a parent read that misses cache in a
+     * multi-million-entry lazy heap.
+     */
+    std::array<double, kNumTiers> evict_high_water_;
+    EvictHeap evict_spared_; //!< evictToFit scratch (exclude_fn entries)
 
     std::vector<std::uint32_t> live_per_fn_;
-    ContainerId next_container_id_ = 1;
+    /**
+     * Per-slot stamp of the newest scheduled expiry, from a global
+     * never-reused counter; zeroed whenever the occupant is acquired
+     * or destroyed. A ContainerExpiry event carries its stamp, so the
+     * stale check -- the common case by far, since every warm reuse
+     * strands one pending expiry -- is one 8-byte read in a dense
+     * array instead of a generation probe into the (much larger)
+     * container arena.
+     */
+    std::vector<std::uint64_t> expiry_stamps_;
+    std::uint64_t next_expiry_stamp_ = 0;
     std::uint64_t next_evict_seq_ = 0;
     std::uint64_t prewarm_failures_ = 0;
 };

@@ -6,6 +6,34 @@
 namespace iceb::sim
 {
 
+namespace
+{
+std::uint64_t
+maxOf(std::uint64_t a, std::uint64_t b)
+{
+    return a > b ? a : b;
+}
+} // namespace
+
+void
+EventLoopStats::merge(const EventLoopStats &other)
+{
+    for (std::size_t i = 0; i < 6; ++i)
+        popped[i] += other.popped[i];
+    stale_expiry_events += other.stale_expiry_events;
+    stale_evict_entries += other.stale_evict_entries;
+    eviction_victims_examined += other.eviction_victims_examined;
+    peak_live_containers =
+        maxOf(peak_live_containers, other.peak_live_containers);
+    peak_pending_events =
+        maxOf(peak_pending_events, other.peak_pending_events);
+    peak_bucket_events =
+        maxOf(peak_bucket_events, other.peak_bucket_events);
+    peak_evict_entries =
+        maxOf(peak_evict_entries, other.peak_evict_entries);
+    peak_wait_queue = maxOf(peak_wait_queue, other.peak_wait_queue);
+}
+
 void
 SimulationMetrics::merge(const SimulationMetrics &other)
 {
@@ -53,6 +81,8 @@ SimulationMetrics::merge(const SimulationMetrics &other)
         keep_alive[t].wasteful_cost += other.keep_alive[t].wasteful_cost;
         keep_alive[t].wasted_mb_ms += other.keep_alive[t].wasted_mb_ms;
     }
+
+    event_loop.merge(other.event_loop);
 }
 
 MetricsCollector::MetricsCollector(std::size_t num_functions)
@@ -130,6 +160,17 @@ MetricsCollector::recordKeepAlive(Tier tier, FunctionId fn,
             static_cast<double>(idle_ms);
     }
     metrics_.per_function[fn].keep_alive_cost += cost;
+}
+
+void
+MetricsCollector::reserveSamples(std::size_t invocations)
+{
+    metrics_.service_times_ms.reserve(invocations);
+    // The per-tier split sums to the total; reserving both for the
+    // full count trades a bounded overshoot for a guaranteed
+    // allocation-free record path.
+    metrics_.service_times_high_ms.reserve(invocations);
+    metrics_.service_times_low_ms.reserve(invocations);
 }
 
 SimulationMetrics

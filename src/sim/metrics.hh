@@ -58,6 +58,41 @@ struct FunctionMetrics
     }
 };
 
+/**
+ * Event-loop and data-structure observability (PR 4): how much work
+ * the sim core did to produce a run, so heap-churn regressions show
+ * up in bench_sim's perf artifact. The peaks double as capacity
+ * hints: feeding them back through SimCapacityHints makes a repeat
+ * run allocation-free.
+ */
+struct EventLoopStats
+{
+    /** Events processed, indexed by EventType (streamed arrivals
+     * count as popped InvocationArrivals). */
+    std::uint64_t popped[6] = {};
+
+    std::uint64_t stale_expiry_events = 0;  //!< expiry for gone/renewed
+    std::uint64_t stale_evict_entries = 0;  //!< evict-heap entries skipped
+    std::uint64_t eviction_victims_examined = 0; //!< evict-heap pops
+
+    std::uint64_t peak_live_containers = 0;
+    std::uint64_t peak_pending_events = 0;
+    std::uint64_t peak_bucket_events = 0; //!< calendar-queue bucket depth
+    std::uint64_t peak_evict_entries = 0; //!< largest per-tier heap
+    std::uint64_t peak_wait_queue = 0;
+
+    std::uint64_t totalPopped() const
+    {
+        std::uint64_t total = 0;
+        for (std::uint64_t count : popped)
+            total += count;
+        return total;
+    }
+
+    /** Counts add, peaks take the max (replicate pooling). */
+    void merge(const EventLoopStats &other);
+};
+
 /** Per-tier keep-alive accounting. */
 struct TierKeepAlive
 {
@@ -98,6 +133,9 @@ struct SimulationMetrics
 
     /** Keep-alive cost per tier. */
     TierKeepAlive keep_alive[kNumTiers];
+
+    /** Sim-core work counters (not part of any figure's output). */
+    EventLoopStats event_loop;
 
     double meanServiceMs() const
     {
@@ -177,6 +215,15 @@ class MetricsCollector
     void recordKeepAlive(Tier tier, FunctionId fn, MemoryMb memory_mb,
                          TimeMs idle_ms, bool successful,
                          double rate_mb_ms);
+
+    /**
+     * Pre-size the per-sample vectors for @p invocations records, so
+     * the record path never reallocates mid-run.
+     */
+    void reserveSamples(std::size_t invocations);
+
+    /** Mutable access to the event-loop counters. */
+    EventLoopStats &eventLoop() { return metrics_.event_loop; }
 
     /** Finish and take the result. */
     SimulationMetrics take();

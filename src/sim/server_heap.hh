@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Indexed per-tier max-heap over server free memory.
+ *
+ * Replaces the worst-fit linear scan: the root is always the server
+ * placement would pick -- most free memory, ties broken towards the
+ * lowest ServerId, which is exactly the "first maximum in id order"
+ * the old strict-greater scan returned (so figure outputs stay
+ * byte-identical). Every free_mb change re-sifts that one server in
+ * O(log n) via a position index, so eviction loops no longer rescan
+ * the whole tier per victim.
+ *
+ * The heap stores ServerIds and reads free_mb out of the shared
+ * server table; the cluster must call update(sid) after every
+ * allocation or release on that server.
+ */
+
+#ifndef ICEB_SIM_SERVER_HEAP_HH
+#define ICEB_SIM_SERVER_HEAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace iceb::sim
+{
+
+struct Server; // cluster.hh owns the definition
+
+/**
+ * @tparam ServerTable Random-access container of Server (free_mb, id).
+ * Templated only to avoid a circular include with cluster.hh.
+ */
+template <typename ServerTable>
+class ServerFreeHeapT
+{
+  public:
+    /**
+     * Build the heap over @p members (one tier's ServerIds). @p pos_size
+     * must cover the largest ServerId in the whole cluster, since the
+     * position index is keyed by global id.
+     */
+    void init(const std::vector<ServerId> &members,
+              const ServerTable &servers, std::size_t pos_size)
+    {
+        heap_ = members;
+        pos_.assign(pos_size, kNpos);
+        for (std::size_t i = 0; i < heap_.size(); ++i)
+            pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+        // All servers start at full (equal) capacity, so sifting each
+        // one up yields the id-ordered layout directly; still, build
+        // bottom-up for generality.
+        for (std::size_t i = heap_.size(); i-- > 0;)
+            siftDown(i, servers);
+    }
+
+    bool empty() const { return heap_.empty(); }
+
+    /** The server placement would pick, or kInvalidServer. */
+    ServerId top() const
+    {
+        return heap_.empty() ? kInvalidServer : heap_[0];
+    }
+
+    /** Re-sift @p sid after its free_mb changed. */
+    void update(ServerId sid, const ServerTable &servers)
+    {
+        const std::uint32_t i = pos_[sid];
+        ICEB_ASSERT(i != kNpos, "server not in this tier's heap");
+        if (!siftUp(i, servers))
+            siftDown(i, servers);
+    }
+
+  private:
+    static constexpr std::uint32_t kNpos = 0xffff'ffffu;
+
+    /** True when @p a belongs above @p b. */
+    bool above(const ServerTable &servers, ServerId a, ServerId b) const
+    {
+        const auto &sa = servers[a];
+        const auto &sb = servers[b];
+        if (sa.free_mb != sb.free_mb)
+            return sa.free_mb > sb.free_mb;
+        return a < b;
+    }
+
+    bool siftUp(std::size_t i, const ServerTable &servers)
+    {
+        bool moved = false;
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!above(servers, heap_[i], heap_[parent]))
+                break;
+            swapAt(i, parent);
+            i = parent;
+            moved = true;
+        }
+        return moved;
+    }
+
+    void siftDown(std::size_t i, const ServerTable &servers)
+    {
+        const std::size_t n = heap_.size();
+        while (true) {
+            std::size_t best = i;
+            const std::size_t left = 2 * i + 1;
+            const std::size_t right = left + 1;
+            if (left < n && above(servers, heap_[left], heap_[best]))
+                best = left;
+            if (right < n && above(servers, heap_[right], heap_[best]))
+                best = right;
+            if (best == i)
+                return;
+            swapAt(i, best);
+            i = best;
+        }
+    }
+
+    void swapAt(std::size_t a, std::size_t b)
+    {
+        std::swap(heap_[a], heap_[b]);
+        pos_[heap_[a]] = static_cast<std::uint32_t>(a);
+        pos_[heap_[b]] = static_cast<std::uint32_t>(b);
+    }
+
+    std::vector<ServerId> heap_;
+    std::vector<std::uint32_t> pos_; //!< heap position by global ServerId
+};
+
+} // namespace iceb::sim
+
+#endif // ICEB_SIM_SERVER_HEAP_HH

@@ -8,6 +8,9 @@
 namespace iceb::sim
 {
 
+static_assert(kNumEventTypes == 6,
+              "EventLoopStats::popped[] indexing assumes 6 event types");
+
 SimulatorOptions
 SimulatorOptions::forRun(std::uint64_t base_seed, std::uint64_t run_index)
 {
@@ -22,13 +25,20 @@ Simulator::Simulator(
     const ClusterConfig &config, Policy &policy, SimulatorOptions options)
     : trace_(tr), profiles_(profiles), config_(config), policy_(policy),
       options_(options), metrics_(tr.numFunctions()),
-      cluster_(config, profiles, events_, metrics_)
+      cluster_(config, profiles, events_, metrics_, options.hints)
 {
     ICEB_ASSERT(profiles_.size() == trace_.numFunctions(),
                 "one profile per trace function required");
     ICEB_ASSERT(config_.totalServers() > 0, "cluster has no servers");
 
     buildArrivalSchedule();
+
+    // All capacity hints apply here, before run(): with hints from a
+    // previous run's peaks, run() itself performs no allocations.
+    metrics_.reserveSamples(arrival_stream_.size());
+    events_.reserve(options_.hints.events,
+                    options_.hints.events_per_bucket);
+    wait_queue_.reserve(options_.hints.wait_queue);
 
     context_.trace = &trace_;
     context_.profiles = &profiles_;
@@ -43,13 +53,15 @@ Simulator::buildArrivalSchedule()
     Rng master(options_.seed);
     const TimeMs interval_ms = trace_.intervalMs();
     arrival_schedule_.resize(trace_.numFunctions());
-    arrival_cursor_.assign(trace_.numFunctions(), 0);
 
+    std::size_t total_arrivals = 0;
+    std::vector<TimeMs> times; // reused across (fn, interval) bursts
     for (FunctionId fn = 0; fn < trace_.numFunctions(); ++fn) {
         Rng rng = master.fork(fn);
         const auto &series = trace_.function(fn);
         auto &schedule = arrival_schedule_[fn];
         schedule.reserve(series.totalInvocations());
+        total_arrivals += series.totalInvocations();
         for (std::size_t iv = 0; iv < series.concurrency.size(); ++iv) {
             const std::uint32_t count = series.concurrency[iv];
             if (count == 0)
@@ -64,8 +76,7 @@ Simulator::buildArrivalSchedule()
                 std::min<TimeMs>(5000, interval_ms - 1);
             const TimeMs offset = static_cast<TimeMs>(
                 rng.uniformInt(0, interval_ms - 1 - span));
-            std::vector<TimeMs> times;
-            times.reserve(count);
+            times.clear();
             for (std::uint32_t i = 0; i < count; ++i) {
                 times.push_back(base + offset +
                                 static_cast<TimeMs>(
@@ -75,26 +86,89 @@ Simulator::buildArrivalSchedule()
             schedule.insert(schedule.end(), times.begin(), times.end());
         }
     }
+
+    // Flatten into per-interval blocks in the old push order
+    // (function-major, time-sorted within a function), then sort each
+    // block by (time, rank) so the run loop can merge it against the
+    // event heap front-to-back. Every arrival of interval iv lies in
+    // [iv * interval_ms, (iv + 1) * interval_ms), so the blocks
+    // partition the schedule exactly as the old per-tick cursor scan
+    // consumed it.
+    const std::size_t num_intervals = trace_.numIntervals();
+    arrival_stream_.reserve(total_arrivals);
+    stream_begin_.resize(num_intervals + 1);
+    std::vector<std::size_t> cursor(trace_.numFunctions(), 0);
+    std::vector<StreamedArrival> scratch; // radix ping-pong buffer
+    for (std::size_t iv = 0; iv < num_intervals; ++iv) {
+        const std::size_t block_begin = arrival_stream_.size();
+        stream_begin_[iv] = block_begin;
+        const TimeMs block_base = static_cast<TimeMs>(iv) * interval_ms;
+        const TimeMs interval_end = block_base + interval_ms;
+        for (FunctionId fn = 0; fn < trace_.numFunctions(); ++fn) {
+            const auto &schedule = arrival_schedule_[fn];
+            std::size_t &pos = cursor[fn];
+            while (pos < schedule.size() &&
+                   schedule[pos] < interval_end) {
+                StreamedArrival arrival;
+                arrival.time = schedule[pos];
+                arrival.rank = static_cast<std::uint32_t>(
+                    arrival_stream_.size() - block_begin);
+                arrival.fn = fn;
+                arrival_stream_.push_back(arrival);
+                ++pos;
+            }
+        }
+        // Sort the block by (time, rank). It is already in rank
+        // order, so a STABLE sort keyed on time alone is equivalent;
+        // an LSD radix sort over the in-interval offset does that in
+        // a few sequential counting passes instead of an O(n log n)
+        // comparison sort (this runs once per interval on the
+        // simulation construction path).
+        const std::size_t n = arrival_stream_.size() - block_begin;
+        if (n > 1) {
+            scratch.resize(n);
+            StreamedArrival *src = arrival_stream_.data() + block_begin;
+            StreamedArrival *dst = scratch.data();
+            std::uint32_t counts[256];
+            for (int shift = 0; (interval_ms - 1) >> shift != 0;
+                 shift += 8) {
+                std::fill(std::begin(counts), std::end(counts), 0u);
+                for (std::size_t i = 0; i < n; ++i) {
+                    ++counts[((src[i].time - block_base) >> shift) &
+                             0xff];
+                }
+                std::uint32_t running = 0;
+                for (std::uint32_t &count : counts) {
+                    const std::uint32_t start = running;
+                    running += count;
+                    count = start;
+                }
+                for (std::size_t i = 0; i < n; ++i) {
+                    dst[counts[((src[i].time - block_base) >> shift) &
+                               0xff]++] = src[i];
+                }
+                std::swap(src, dst);
+            }
+            if (src != arrival_stream_.data() + block_begin) {
+                std::copy(src, src + n,
+                          arrival_stream_.data() + block_begin);
+            }
+        }
+    }
+    stream_begin_[num_intervals] = arrival_stream_.size();
 }
 
 void
-Simulator::pushIntervalArrivals(IntervalIndex interval)
+Simulator::openArrivalWindow(IntervalIndex interval)
 {
-    const TimeMs interval_end =
-        (static_cast<TimeMs>(interval) + 1) * trace_.intervalMs();
-    for (FunctionId fn = 0; fn < trace_.numFunctions(); ++fn) {
-        const auto &schedule = arrival_schedule_[fn];
-        std::size_t &cursor = arrival_cursor_[fn];
-        while (cursor < schedule.size() &&
-               schedule[cursor] < interval_end) {
-            Event event;
-            event.time = schedule[cursor];
-            event.type = EventType::InvocationArrival;
-            event.fn = fn;
-            events_.push(event);
-            ++cursor;
-        }
-    }
+    const std::size_t iv = static_cast<std::size_t>(interval);
+    stream_pos_ = stream_begin_[iv];
+    stream_end_ = stream_begin_[iv + 1];
+    // Claim the sequence numbers the old code's per-arrival pushes
+    // would have consumed here, so later pushes (and the merge below)
+    // order identically.
+    stream_seq_base_ = events_.reserveSeqs(
+        static_cast<std::uint64_t>(stream_end_ - stream_pos_));
 }
 
 SimulationMetrics
@@ -113,13 +187,37 @@ Simulator::run()
         events_.push(tick);
     }
 
-    while (auto event = events_.pop()) {
+    EventLoopStats &stats = metrics_.eventLoop();
+    while (true) {
+        // Merge the open arrival window against the heap by
+        // (time, seq); strict ordering because all keys are unique.
+        if (stream_pos_ < stream_end_) {
+            const StreamedArrival &arrival = arrival_stream_[stream_pos_];
+            const std::uint64_t arrival_seq =
+                stream_seq_base_ + arrival.rank;
+            const auto key = events_.peekKey();
+            if (!key || arrival.time < key->time ||
+                (arrival.time == key->time && arrival_seq < key->seq)) {
+                ++stream_pos_;
+                now_ = arrival.time;
+                cluster_.setNow(now_);
+                ++stats.popped[static_cast<std::size_t>(
+                    EventType::InvocationArrival)];
+                handleArrival(arrival.fn, arrival.time);
+                continue;
+            }
+        }
+        auto event = events_.pop();
+        if (!event)
+            break;
+        cluster_.prefetchContainer(events_.peekContainer());
         now_ = event->time;
         cluster_.setNow(now_);
+        ++stats.popped[static_cast<std::size_t>(event->type)];
         switch (event->type) {
           case EventType::IntervalTick:
             policy_.onIntervalStart(event->interval, cluster_);
-            pushIntervalArrivals(event->interval);
+            openArrivalWindow(event->interval);
             break;
           case EventType::InvocationArrival:
             handleArrival(event->fn, event->time);
@@ -147,23 +245,58 @@ Simulator::run()
         }
     }
 
-    if (!wait_queue_.empty()) {
-        warn("simulation ended with ", wait_queue_.size(),
+    if (events_.peakSize() > stats.peak_pending_events)
+        stats.peak_pending_events = events_.peakSize();
+    if (events_.peakBucket() > stats.peak_bucket_events)
+        stats.peak_bucket_events = events_.peakBucket();
+
+    if (waitCount() > 0) {
+        warn("simulation ended with ", waitCount(),
              " invocations still queued (cluster too small for trace)");
     }
     return metrics_.take();
 }
 
 void
+Simulator::pushWaiting(FunctionId fn, TimeMs arrival)
+{
+    wait_queue_.push_back(QueuedInvocation{fn, arrival});
+    // Peak *storage* length (head offset + population), so reserving
+    // it as a hint guarantees an allocation-free repeat run.
+    EventLoopStats &stats = metrics_.eventLoop();
+    if (wait_queue_.size() > stats.peak_wait_queue)
+        stats.peak_wait_queue = wait_queue_.size();
+}
+
+void
+Simulator::popWaiting()
+{
+    ++wait_head_;
+    if (wait_head_ == wait_queue_.size()) {
+        wait_queue_.clear();
+        wait_head_ = 0;
+    } else if (wait_head_ >= 1024 &&
+               wait_head_ * 2 >= wait_queue_.size()) {
+        // Slide the live tail down so the vector's length stays
+        // proportional to the queue's population (erase reuses the
+        // existing capacity; amortised O(1) per pop).
+        wait_queue_.erase(wait_queue_.begin(),
+                          wait_queue_.begin() +
+                              static_cast<std::ptrdiff_t>(wait_head_));
+        wait_head_ = 0;
+    }
+}
+
+void
 Simulator::handleArrival(FunctionId fn, TimeMs arrival)
 {
-    if (!wait_queue_.empty()) {
+    if (waitCount() > 0) {
         // Preserve FIFO order behind already-waiting invocations.
-        wait_queue_.push_back(QueuedInvocation{fn, arrival});
+        pushWaiting(fn, arrival);
         return;
     }
     if (!tryPlace(fn, arrival))
-        wait_queue_.push_back(QueuedInvocation{fn, arrival});
+        pushWaiting(fn, arrival);
 }
 
 bool
@@ -224,11 +357,11 @@ Simulator::startExecution(const ClusterState::Acquisition &acq,
 void
 Simulator::drainQueue()
 {
-    while (!wait_queue_.empty()) {
-        const QueuedInvocation head = wait_queue_.front();
+    while (waitCount() > 0) {
+        const QueuedInvocation head = wait_queue_[wait_head_];
         if (!tryPlace(head.fn, head.arrival))
             break;
-        wait_queue_.pop_front();
+        popWaiting();
     }
 }
 

@@ -2,17 +2,25 @@
  * @file
  * The discrete-event serverless cluster simulator.
  *
- * Drives a trace through a cluster under a policy: materialises each
+ * Drives a trace through a cluster under a policy: streams each
  * interval's invocations at deterministic jittered timestamps, fires
  * the policy's interval hook at every decision boundary, places
  * invocations (warm pool, in-setup attach, cold start, or FIFO wait
  * queue), and produces the full SimulationMetrics.
+ *
+ * Arrivals never enter the event heap (PR 4): the whole arrival
+ * schedule is precomputed once, and the run loop merges the current
+ * interval's slice against the heap by (time, seq) -- with sequence
+ * numbers block-reserved at the interval tick, so the pop order is
+ * bit-for-bit the order the old per-arrival pushes produced. The wait
+ * queue is a reusable ring over a vector instead of a std::deque.
+ * Together with SimCapacityHints sized from a previous run's peaks,
+ * a run's steady state performs no heap allocations at all.
  */
 
 #ifndef ICEB_SIM_SIMULATOR_HH
 #define ICEB_SIM_SIMULATOR_HH
 
-#include <deque>
 #include <memory>
 
 #include "sim/cluster.hh"
@@ -30,6 +38,14 @@ struct SimulatorOptions
 {
     /** Seed for the deterministic within-interval arrival jitter. */
     std::uint64_t seed = 0x51AB'1CEBull;
+
+    /**
+     * Pre-sizing for the run's dynamic structures (never affects
+     * results, only allocation counts). Feed a previous run's
+     * SimulationMetrics::event_loop peaks back here to make a repeat
+     * run allocation-free in steady state.
+     */
+    SimCapacityHints hints;
 
     /**
      * Options for run @p run_index of a repeated-seed experiment: the
@@ -70,13 +86,33 @@ class Simulator
         TimeMs arrival = 0;
     };
 
+    /**
+     * One precomputed arrival. @c rank is its position in the order
+     * the old code pushed the containing interval's arrivals
+     * (function-major, time-sorted within a function); its effective
+     * sequence number is the interval's reserved block base + rank.
+     */
+    struct StreamedArrival
+    {
+        TimeMs time = 0;
+        std::uint32_t rank = 0;
+        FunctionId fn = kInvalidFunction;
+    };
+
     void buildArrivalSchedule();
-    void pushIntervalArrivals(IntervalIndex interval);
+    void openArrivalWindow(IntervalIndex interval);
     void handleArrival(FunctionId fn, TimeMs arrival);
     bool tryPlace(FunctionId fn, TimeMs arrival);
     void startExecution(const ClusterState::Acquisition &acq,
                         FunctionId fn, TimeMs arrival);
     void drainQueue();
+
+    std::size_t waitCount() const
+    {
+        return wait_queue_.size() - wait_head_;
+    }
+    void pushWaiting(FunctionId fn, TimeMs arrival);
+    void popWaiting();
 
     const trace::Trace &trace_;
     const std::vector<workload::FunctionProfile> &profiles_;
@@ -91,10 +127,23 @@ class Simulator
 
     /** Exact arrival times per function (sorted); Oracle's input. */
     std::vector<std::vector<TimeMs>> arrival_schedule_;
-    /** Per-function cursor into arrival_schedule_. */
-    std::vector<std::size_t> arrival_cursor_;
 
-    std::deque<QueuedInvocation> wait_queue_;
+    /** All arrivals, grouped per interval, each group sorted by
+     * (time, rank); indexed via stream_begin_. */
+    std::vector<StreamedArrival> arrival_stream_;
+    /** Block boundaries: interval iv's arrivals occupy
+     * [stream_begin_[iv], stream_begin_[iv + 1]). */
+    std::vector<std::size_t> stream_begin_;
+
+    /** Open stream window (current interval's unprocessed slice). */
+    std::size_t stream_pos_ = 0;
+    std::size_t stream_end_ = 0;
+    std::uint64_t stream_seq_base_ = 0;
+
+    /** FIFO wait queue as a reusable ring over a vector. */
+    std::vector<QueuedInvocation> wait_queue_;
+    std::size_t wait_head_ = 0;
+
     TimeMs now_ = 0;
 };
 

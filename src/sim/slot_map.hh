@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Generational slot map: the container arena behind ClusterState.
+ *
+ * Values live in a dense vector of slots; a handle encodes
+ * (generation << 32) | slot_index. Erasing a slot bumps its
+ * generation and threads it onto a free list, so the next insert
+ * reuses the storage under a fresh handle and any handle to the dead
+ * value goes stale. A single generation comparison then replaces the
+ * hash probe the simulator used for staleness checks (expired-event
+ * and evict-heap entries referencing destroyed containers).
+ *
+ * Generations start at 1, so no valid handle is ever 0 and the
+ * simulator's "no container" sentinel (ContainerId 0) stays invalid.
+ * Handle values are never used as ordering keys anywhere in the
+ * simulator (events and evict entries order by their own sequence
+ * numbers), which is what makes slot reuse determinism-safe.
+ */
+
+#ifndef ICEB_SIM_SLOT_MAP_HH
+#define ICEB_SIM_SLOT_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace iceb::sim
+{
+
+template <typename T>
+class SlotMap
+{
+  public:
+    using Id = std::uint64_t;
+
+    static constexpr Id kNoId = 0;
+
+    /** Slot index of a handle (valid for any live or stale handle). */
+    static std::uint32_t slotOf(Id id)
+    {
+        return static_cast<std::uint32_t>(id & 0xffff'ffffull);
+    }
+
+    /** Pre-size the arena (and free list) for @p n live values. */
+    void reserve(std::size_t n)
+    {
+        slots_.reserve(n);
+        free_.reserve(n);
+    }
+
+    /**
+     * Allocate a slot (reusing the most recently freed one first) and
+     * return its handle; the value is default-initialised.
+     */
+    Id insert()
+    {
+        std::uint32_t slot;
+        if (!free_.empty()) {
+            slot = free_.back();
+            free_.pop_back();
+            slots_[slot].value = T{};
+        } else {
+            slot = static_cast<std::uint32_t>(slots_.size());
+            slots_.emplace_back();
+        }
+        ++live_;
+        return makeId(slot, slots_[slot].generation);
+    }
+
+    /** Live value for @p id, or nullptr when the handle is stale. */
+    T *find(Id id)
+    {
+        const std::uint32_t slot = slotOf(id);
+        if (slot >= slots_.size() ||
+            makeId(slot, slots_[slot].generation) != id) {
+            return nullptr;
+        }
+        return &slots_[slot].value;
+    }
+
+    const T *find(Id id) const
+    {
+        return const_cast<SlotMap *>(this)->find(id);
+    }
+
+    /** Live value for @p id; asserts the handle is current. */
+    T &at(Id id)
+    {
+        T *value = find(id);
+        ICEB_ASSERT(value != nullptr, "stale slot-map handle");
+        return *value;
+    }
+
+    const T &at(Id id) const
+    {
+        return const_cast<SlotMap *>(this)->at(id);
+    }
+
+    /** Hint the CPU to pull a slot's line (no-op out of range). */
+    void prefetch(std::uint32_t slot) const
+    {
+        if (slot < slots_.size())
+            __builtin_prefetch(slots_.data() + slot);
+    }
+
+    /** Direct slot access for intrusive links (caller knows liveness). */
+    T &atSlot(std::uint32_t slot) { return slots_[slot].value; }
+    const T &atSlot(std::uint32_t slot) const
+    {
+        return slots_[slot].value;
+    }
+
+    /** Erase a live handle: bump the generation, recycle the slot. */
+    void erase(Id id)
+    {
+        const std::uint32_t slot = slotOf(id);
+        ICEB_ASSERT(slot < slots_.size() &&
+                        makeId(slot, slots_[slot].generation) == id,
+                    "erasing stale slot-map handle");
+        ++slots_[slot].generation;
+        free_.push_back(slot);
+        ICEB_ASSERT(live_ > 0, "slot-map live count underflow");
+        --live_;
+    }
+
+    std::size_t size() const { return live_; }
+    bool empty() const { return live_ == 0; }
+
+    /** Allocated slots (live + free), i.e. the arena's high-water mark. */
+    std::size_t capacityUsed() const { return slots_.size(); }
+
+  private:
+    struct Slot
+    {
+        T value{};
+        std::uint32_t generation = 1;
+    };
+
+    static Id makeId(std::uint32_t slot, std::uint32_t generation)
+    {
+        return (static_cast<Id>(generation) << 32) |
+            static_cast<Id>(slot);
+    }
+
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_;
+    std::size_t live_ = 0;
+};
+
+} // namespace iceb::sim
+
+#endif // ICEB_SIM_SLOT_MAP_HH

@@ -288,4 +288,110 @@ TEST_F(ClusterStateTest, EnsureWarmEvictingPreemptsOtherFunctions)
     EXPECT_LT(cluster_.warmCount(0, Tier::HighEnd), 4u);
 }
 
+TEST_F(ClusterStateTest, EvictionSkipsEntriesWithStaleTokens)
+{
+    // Fill both tiers with fn 0 idles, then renew every keep-alive:
+    // each renewal reschedules expiry with a bumped token, so every
+    // original evict-heap entry goes stale. A renewed container is
+    // unevictable until it idles again.
+    cluster_.ensureWarm(0, Tier::HighEnd, 4, 10'000);
+    cluster_.ensureWarm(0, Tier::LowEnd, 4, 10'000);
+    while (auto event = events_.pop()) {
+        cluster_.setNow(event->time);
+        if (event->type == EventType::PrewarmReady)
+            cluster_.handlePrewarmReady(*event, policy_);
+    }
+    cluster_.setNow(2000);
+    cluster_.ensureWarm(0, Tier::HighEnd, 4, 50'000);
+    cluster_.ensureWarm(0, Tier::LowEnd, 4, 50'000);
+
+    auto acq = cluster_.acquireCold(1, order_, policy_);
+    EXPECT_FALSE(acq.has_value()); // every heap entry was stale
+    EXPECT_EQ(cluster_.warmCount(0, Tier::HighEnd), 4u);
+    EXPECT_EQ(cluster_.warmCount(0, Tier::LowEnd), 4u);
+
+    const SimulationMetrics m = metrics_.take();
+    EXPECT_EQ(m.event_loop.stale_evict_entries, 8u);
+    EXPECT_EQ(m.event_loop.eviction_victims_examined, 8u);
+}
+
+TEST_F(ClusterStateTest, EvictionSparesExcludedFunctionAndRestoresIt)
+{
+    // High-end: two fn 0 idles (256 MB each, lowest priority) plus one
+    // fn 1 idle (512 MB); low-end full of fn 1 so nothing falls back.
+    cluster_.ensureWarm(0, Tier::HighEnd, 2, 200'000);
+    while (auto event = events_.pop()) {
+        cluster_.setNow(event->time);
+        if (event->type == EventType::PrewarmReady)
+            cluster_.handlePrewarmReady(*event, policy_);
+    }
+    cluster_.setNow(2000);
+    cluster_.ensureWarm(1, Tier::HighEnd, 1, 200'000);
+    cluster_.ensureWarm(1, Tier::LowEnd, 2, 200'000);
+    while (auto event = events_.pop()) {
+        cluster_.setNow(event->time);
+        if (event->type == EventType::PrewarmReady)
+            cluster_.handlePrewarmReady(*event, policy_);
+    }
+    EXPECT_EQ(cluster_.vacantMemoryMb(Tier::HighEnd), 0);
+    EXPECT_EQ(cluster_.vacantMemoryMb(Tier::LowEnd), 0);
+
+    // A scheduled prewarm for fn 0 must not evict fn 0's own idles:
+    // the two lowest-priority entries are spared and fn 1's goes.
+    Event start;
+    start.type = EventType::PrewarmStart;
+    start.fn = 0;
+    start.tier = Tier::HighEnd;
+    start.expiry = 300'000;
+    start.time = cluster_.now();
+    cluster_.handlePrewarmStart(start, policy_);
+    EXPECT_EQ(cluster_.prewarmFailures(), 0u);
+    EXPECT_EQ(cluster_.warmCount(0, Tier::HighEnd), 3u); // 2 idle + setup
+    EXPECT_EQ(cluster_.warmCount(1, Tier::HighEnd), 0u);
+
+    // The spared entries went back on the heap: a later cold start for
+    // fn 1 can still evict those fn 0 idles.
+    // 256 MB is already free (512 evicted - 256 prewarmed), so one
+    // restored fn 0 entry covers the remaining 256 MB.
+    auto acq = cluster_.acquireCold(1, order_, policy_);
+    ASSERT_TRUE(acq.has_value());
+    EXPECT_EQ(acq->tier, Tier::HighEnd);
+    EXPECT_EQ(cluster_.warmCount(0, Tier::HighEnd), 2u); // idle + setup
+}
+
+TEST_F(ClusterStateTest, FailedEvictionRestoresSparedEntries)
+{
+    // High-end holds only fn 0 idles; low-end is full of *running*
+    // fn 1 containers (running containers are never evicted).
+    cluster_.ensureWarm(0, Tier::HighEnd, 4, 200'000);
+    while (auto event = events_.pop()) {
+        cluster_.setNow(event->time);
+        if (event->type == EventType::PrewarmReady)
+            cluster_.handlePrewarmReady(*event, policy_);
+    }
+    cluster_.setNow(2000);
+    ASSERT_TRUE(cluster_.acquireCold(1, order_, policy_).has_value());
+    ASSERT_TRUE(cluster_.acquireCold(1, order_, policy_).has_value());
+    EXPECT_EQ(cluster_.vacantMemoryMb(Tier::LowEnd), 0);
+
+    // Prewarming fn 0 spares all four of its own entries, finds no
+    // other victim, and must fail -- leaving the heap intact.
+    Event start;
+    start.type = EventType::PrewarmStart;
+    start.fn = 0;
+    start.tier = Tier::HighEnd;
+    start.expiry = 300'000;
+    start.time = cluster_.now();
+    cluster_.handlePrewarmStart(start, policy_);
+    EXPECT_EQ(cluster_.prewarmFailures(), 1u);
+    EXPECT_EQ(cluster_.warmCount(0, Tier::HighEnd), 4u);
+
+    // The restored entries still serve a different function's cold
+    // start: two 256 MB idles are evicted for fn 1's 512 MB.
+    auto acq = cluster_.acquireCold(1, order_, policy_);
+    ASSERT_TRUE(acq.has_value());
+    EXPECT_EQ(acq->tier, Tier::HighEnd);
+    EXPECT_EQ(cluster_.warmCount(0, Tier::HighEnd), 2u);
+}
+
 } // namespace

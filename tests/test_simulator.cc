@@ -8,7 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
+#include "common/rng.hh"
 #include "common/units.hh"
+#include "policies/faascache_policy.hh"
 #include "policies/openwhisk_policy.hh"
 #include "policies/oracle_policy.hh"
 #include "sim/simulator.hh"
@@ -228,6 +232,158 @@ TEST(SimulatorTest, OverheadChargedToEveryInvocation)
         runSimulation(tr, profiles, cluster, policy);
     EXPECT_DOUBLE_EQ(m.sum_overhead_ms, 25.0);
     EXPECT_DOUBLE_EQ(m.meanServiceMs(), 3025.0);
+}
+
+// ------------------------------------------------------------- Golden
+//
+// Byte-identical regression gate for the sim-core data structures: a
+// fig6-style multi-scheme run over a deterministic Rng-built trace,
+// with every metric field (including each float sample's bit pattern)
+// folded into one FNV-1a hash. The constant below was captured from
+// the seed implementation (hash-map containers, linear server scans,
+// vector pools, binary event heap); any refactor of the sim layer
+// must reproduce it exactly. The workload only exercises
+// transcendental-free policies so the hash does not depend on libm.
+
+std::uint64_t
+fnv1a(std::uint64_t hash, std::uint64_t value)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        hash ^= (value >> (8 * byte)) & 0xff;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1aDouble(std::uint64_t hash, double value)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return fnv1a(hash, bits);
+}
+
+std::uint64_t
+hashMetrics(std::uint64_t hash, const SimulationMetrics &m)
+{
+    hash = fnv1a(hash, m.invocations);
+    hash = fnv1a(hash, m.cold_starts);
+    hash = fnv1a(hash, m.warm_starts);
+    hash = fnv1a(hash, m.cold_no_container);
+    hash = fnv1a(hash, m.cold_all_busy);
+    hash = fnv1a(hash, m.cold_setup_attach);
+    hash = fnv1aDouble(hash, m.sum_service_ms);
+    hash = fnv1aDouble(hash, m.sum_wait_ms);
+    hash = fnv1aDouble(hash, m.sum_cold_ms);
+    hash = fnv1aDouble(hash, m.sum_exec_ms);
+    hash = fnv1aDouble(hash, m.sum_overhead_ms);
+    for (const auto *samples :
+         {&m.service_times_ms, &m.service_times_high_ms,
+          &m.service_times_low_ms}) {
+        hash = fnv1a(hash, samples->size());
+        for (float sample : *samples) {
+            std::uint32_t bits = 0;
+            std::memcpy(&bits, &sample, sizeof(bits));
+            hash = fnv1a(hash, bits);
+        }
+    }
+    for (const FunctionMetrics &fm : m.per_function) {
+        hash = fnv1a(hash, fm.invocations);
+        hash = fnv1a(hash, fm.cold_starts);
+        hash = fnv1a(hash, fm.warm_starts);
+        hash = fnv1aDouble(hash, fm.sum_service_ms);
+        hash = fnv1aDouble(hash, fm.sum_wait_ms);
+        hash = fnv1aDouble(hash, fm.sum_cold_ms);
+        hash = fnv1aDouble(hash, fm.sum_exec_ms);
+        hash = fnv1aDouble(hash, fm.keep_alive_cost);
+    }
+    for (int t = 0; t < kNumTiers; ++t) {
+        hash = fnv1aDouble(hash, m.keep_alive[t].successful_cost);
+        hash = fnv1aDouble(hash, m.keep_alive[t].wasteful_cost);
+        hash = fnv1aDouble(hash, m.keep_alive[t].wasted_mb_ms);
+    }
+    return hash;
+}
+
+// A deterministic bursty multi-function workload that oversubscribes
+// the golden cluster's memory, so warm pools, setup attach, the wait
+// queue, expiry, and eviction all fire during the golden run.
+TEST(SimulatorGoldenTest, MetricsHashMatchesSeedImplementation)
+{
+    constexpr std::size_t kFns = 14;
+    constexpr std::size_t kIntervals = 240;
+    trace::Trace tr(kIntervals, kMsPerMinute);
+    Rng rng(0x1CEB'601Dull);
+    std::vector<workload::FunctionProfile> profiles;
+    for (std::size_t fn = 0; fn < kFns; ++fn) {
+        Rng stream = rng.fork(fn);
+        trace::FunctionSeries series;
+        series.name = "g" + std::to_string(fn);
+        series.memory_mb = 128 + 128 * stream.uniformInt(1, 4);
+        series.avg_exec_ms = 500 * stream.uniformInt(1, 6);
+        series.concurrency.assign(kIntervals, 0);
+        // Bursty arrivals: active runs separated by idle gaps sized
+        // around the 10-minute baseline keep-alive so both warm hits
+        // and expiries occur.
+        std::size_t iv = static_cast<std::size_t>(
+            stream.uniformInt(0, 12));
+        while (iv < kIntervals) {
+            const std::size_t burst = static_cast<std::size_t>(
+                stream.uniformInt(1, 4));
+            for (std::size_t b = 0; b < burst && iv < kIntervals;
+                 ++b, ++iv) {
+                series.concurrency[iv] = static_cast<std::uint32_t>(
+                    stream.uniformInt(1, 5));
+            }
+            iv += static_cast<std::size_t>(stream.uniformInt(2, 18));
+        }
+        tr.addFunction(series);
+
+        workload::FunctionProfile profile;
+        profile.name = series.name;
+        profile.memory_mb = series.memory_mb;
+        profile.cold_start_ms = {
+            1000 + 250 * stream.uniformInt(0, 4),
+            2000 + 500 * stream.uniformInt(0, 4)};
+        profile.exec_ms = {series.avg_exec_ms, 2 * series.avg_exec_ms};
+        profiles.push_back(profile);
+    }
+
+    // Two small servers per tier: bursts oversubscribe memory, so
+    // eviction and the FIFO wait queue both engage.
+    ClusterConfig cluster = defaultHeterogeneousCluster();
+    cluster.spec(Tier::HighEnd).server_count = 2;
+    cluster.spec(Tier::HighEnd).memory_per_server_mb = 1536;
+    cluster.spec(Tier::LowEnd).server_count = 2;
+    cluster.spec(Tier::LowEnd).memory_per_server_mb = 1536;
+
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    {
+        policies::OpenWhiskPolicy policy;
+        hash = hashMetrics(
+            hash, runSimulation(tr, profiles, cluster, policy));
+    }
+    {
+        policies::OpenWhiskPolicy policy(2 * kMsPerMinute);
+        hash = hashMetrics(
+            hash, runSimulation(tr, profiles, cluster, policy));
+    }
+    {
+        policies::FaasCachePolicy policy;
+        hash = hashMetrics(
+            hash, runSimulation(tr, profiles, cluster, policy));
+    }
+    {
+        policies::OraclePolicy policy;
+        hash = hashMetrics(
+            hash, runSimulation(tr, profiles, cluster, policy));
+    }
+
+    constexpr std::uint64_t kSeedImplementationHash =
+        0xf22c29a34a536e90ull;
+    EXPECT_EQ(hash, kSeedImplementationHash)
+        << "sim-core refactor changed simulation output; hash is now 0x"
+        << std::hex << hash;
 }
 
 TEST(SimulatorTest, HighTierPreferredWhileItHasRoom)

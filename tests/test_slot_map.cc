@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the generational slot map backing the container arena:
+ * handle stability, O(1) erase, slot reuse with generation bumps so
+ * stale handles fail to resolve.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/slot_map.hh"
+
+namespace
+{
+
+using iceb::sim::SlotMap;
+
+struct Payload
+{
+    int value = -1;
+    std::string tag;
+};
+
+TEST(SlotMapTest, InsertFindEraseRoundTrip)
+{
+    SlotMap<Payload> map;
+    EXPECT_EQ(map.size(), 0u);
+
+    const auto a = map.insert();
+    const auto b = map.insert();
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, SlotMap<Payload>::kNoId);
+    EXPECT_EQ(map.size(), 2u);
+
+    map.at(a).value = 1;
+    map.at(b).value = 2;
+    EXPECT_EQ(map.find(a)->value, 1);
+    EXPECT_EQ(map.find(b)->value, 2);
+
+    map.erase(a);
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(map.find(a), nullptr);
+    EXPECT_EQ(map.find(b)->value, 2);
+}
+
+TEST(SlotMapTest, ReuseInvalidatesOldIdAndResetsValue)
+{
+    SlotMap<Payload> map;
+    const auto old_id = map.insert();
+    map.at(old_id).value = 42;
+    map.at(old_id).tag = "stale";
+    map.erase(old_id);
+
+    // The freed slot is reused, under a new generation.
+    const auto new_id = map.insert();
+    EXPECT_EQ(SlotMap<Payload>::slotOf(new_id),
+              SlotMap<Payload>::slotOf(old_id));
+    EXPECT_NE(new_id, old_id);
+
+    // The stale handle no longer resolves; the reused slot is fresh.
+    EXPECT_EQ(map.find(old_id), nullptr);
+    ASSERT_NE(map.find(new_id), nullptr);
+    EXPECT_EQ(map.find(new_id)->value, -1);
+    EXPECT_TRUE(map.find(new_id)->tag.empty());
+}
+
+TEST(SlotMapTest, FreeListReusesMostRecentlyFreedFirst)
+{
+    SlotMap<Payload> map;
+    const auto a = map.insert();
+    const auto b = map.insert();
+    const auto c = map.insert();
+    map.erase(a);
+    map.erase(c); // freed last, reused first (LIFO)
+
+    const auto d = map.insert();
+    EXPECT_EQ(SlotMap<Payload>::slotOf(d),
+              SlotMap<Payload>::slotOf(c));
+    const auto e = map.insert();
+    EXPECT_EQ(SlotMap<Payload>::slotOf(e),
+              SlotMap<Payload>::slotOf(a));
+    EXPECT_EQ(map.find(b)->value, -1);
+    EXPECT_EQ(map.size(), 3u);
+    EXPECT_EQ(map.capacityUsed(), 3u); // no new slots were grown
+}
+
+TEST(SlotMapTest, ManyChurnCyclesKeepHandlesDistinct)
+{
+    SlotMap<Payload> map;
+    map.reserve(4);
+    auto id = map.insert();
+    for (int i = 0; i < 100; ++i) {
+        const auto prev = id;
+        map.erase(prev);
+        id = map.insert();
+        EXPECT_NE(id, prev);          // generation moved on
+        EXPECT_EQ(map.find(prev), nullptr);
+        ASSERT_NE(map.find(id), nullptr);
+        EXPECT_EQ(SlotMap<Payload>::slotOf(id),
+                  SlotMap<Payload>::slotOf(prev));
+    }
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(map.capacityUsed(), 1u);
+}
+
+TEST(SlotMapTest, SlotIndexAccessMatchesIdAccess)
+{
+    SlotMap<Payload> map;
+    const auto a = map.insert();
+    map.at(a).value = 7;
+    EXPECT_EQ(map.atSlot(SlotMap<Payload>::slotOf(a)).value, 7);
+}
+
+} // namespace
