@@ -21,7 +21,9 @@ main(int argc, char **argv)
 
     const bench::BenchOptions options =
         bench::parseBenchOptions(argc, argv);
-    const harness::Workload workload = bench::sweepWorkload();
+    const harness::Workload workload = options.smoke
+        ? bench::smokeWorkload()
+        : bench::sweepWorkload();
 
     std::vector<harness::SweepPoint> points;
     for (double ratio : {1.23, 1.5, 1.8, 2.4}) {

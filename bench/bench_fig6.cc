@@ -16,7 +16,9 @@ main(int argc, char **argv)
 
     const bench::BenchOptions options =
         bench::parseBenchOptions(argc, argv);
-    const harness::Workload workload = bench::standardWorkload();
+    const harness::Workload workload = options.smoke
+        ? bench::smokeWorkload()
+        : bench::standardWorkload();
     const sim::ClusterConfig cluster =
         sim::defaultHeterogeneousCluster();
     std::cout << "workload: " << workload.trace.numFunctions()

@@ -27,6 +27,12 @@ sweepWorkload()
     return standardWorkload(260, 360);
 }
 
+harness::Workload
+smokeWorkload()
+{
+    return standardWorkload(48, 60);
+}
+
 namespace
 {
 
@@ -40,8 +46,14 @@ usage(const char *prog, int status)
         << "  --seeds S     base seed for derived per-run RNG streams\n"
         << "  --repeats R   seed replicates per experiment cell "
            "(default 1)\n"
+        << "  --smoke       shrunken workload for CI smoke runs\n"
+        << "  --trace-out F     write Chrome trace_event JSON "
+           "(Perfetto-viewable)\n"
+        << "  --probe-out F     write interval/forecast probes as CSV\n"
+        << "  --manifest-out F  write one JSON manifest line per run\n"
         << "  --help        this message\n"
-        << "\nOutput is byte-identical for every --threads value.\n";
+        << "\nOutput (stdout and observability files) is "
+           "byte-identical for every\n--threads value.\n";
     std::exit(status);
 }
 
@@ -111,6 +123,14 @@ parseBenchOptions(int argc, char **argv)
             }
         } else if (arg == "--seeds" || arg == "--seed") {
             options.base_seed = parseUint(prog, arg, value(arg));
+        } else if (arg == "--smoke") {
+            options.smoke = true;
+        } else if (arg == "--trace-out") {
+            options.observation.trace_path = value(arg);
+        } else if (arg == "--probe-out") {
+            options.observation.probe_path = value(arg);
+        } else if (arg == "--manifest-out") {
+            options.observation.manifest_path = value(arg);
         } else {
             std::cerr << prog << ": unknown option '" << arg << "'\n";
             usage(prog, 1);
@@ -126,6 +146,8 @@ runnerOptions(const BenchOptions &options)
     ro.threads = options.threads;
     ro.repeats = options.repeats;
     ro.base_seed = options.base_seed;
+    if (options.observation.enabled())
+        ro.observation = &options.observation;
     return ro;
 }
 
@@ -210,8 +232,10 @@ runGridComparison(const std::string &title,
 
     const std::vector<harness::RunSpec> grid = harness::buildGrid(
         keys, workload, points, options.base_seed, options.repeats);
-    const std::vector<harness::RunResult> results =
-        harness::ExperimentRunner(options.threads).run(grid);
+    harness::ExperimentRunner runner(options.threads);
+    if (options.observation.enabled())
+        runner.setObservation(options.observation);
+    const std::vector<harness::RunResult> results = runner.run(grid);
 
     const std::size_t repeats = options.repeats;
     const std::size_t point_stride = schemes.size() * repeats;

@@ -20,6 +20,7 @@
 
 #include "common/table.hh"
 #include "harness/experiment.hh"
+#include "harness/observe.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
 
@@ -42,16 +43,25 @@ iceb::harness::Workload sweepWorkload();
 /**
  * Common bench CLI options.
  *
- *   --threads N   worker threads (0 = hardware concurrency, default)
- *   --seeds S     base seed for the run's derived RNG streams
- *   --repeats R   seed replicates per cell (mean +- stddev columns)
+ *   --threads N       worker threads (0 = hardware concurrency, default)
+ *   --seeds S         base seed for the run's derived RNG streams
+ *   --repeats R       seed replicates per cell (mean +- stddev columns)
+ *   --smoke           shrunken workload for CI smoke runs
+ *   --trace-out F     write a Chrome trace_event JSON of every run
+ *   --probe-out F     write interval/forecast probe series as CSV
+ *   --manifest-out F  write one JSON manifest line per run
  */
 struct BenchOptions
 {
     std::size_t threads = 0;
     std::size_t repeats = 1;
     std::uint64_t base_seed = iceb::harness::kDefaultBaseSeed;
+    bool smoke = false;
+    iceb::harness::ObservationOptions observation;
 };
+
+/** The --smoke workload geometry (shared by the figure benches). */
+iceb::harness::Workload smokeWorkload();
 
 /** Parse the common flags; prints usage and exits on --help/errors. */
 BenchOptions parseBenchOptions(int argc, char **argv);

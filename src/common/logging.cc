@@ -1,6 +1,9 @@
 #include "common/logging.hh"
 
 #include <atomic>
+#include <cctype>
+#include <cstring>
+#include <mutex>
 
 namespace iceb
 {
@@ -8,7 +11,60 @@ namespace iceb
 namespace
 {
 
-std::atomic<LogLevel> g_level{LogLevel::Warn};
+/**
+ * Parse ICEB_LOG_LEVEL: symbolic names (silent / warn / inform or
+ * info / debug, case-insensitive) or the numeric levels 0-3. Returns
+ * the default on unset or unparsable values -- a bad env var must
+ * never abort a run, it just logs at the default level.
+ */
+LogLevel
+levelFromEnv(LogLevel fallback)
+{
+    const char *text = std::getenv("ICEB_LOG_LEVEL");
+    if (text == nullptr || *text == '\0')
+        return fallback;
+
+    std::string name(text);
+    for (char &c : name)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+
+    if (name == "silent" || name == "0")
+        return LogLevel::Silent;
+    if (name == "warn" || name == "warning" || name == "1")
+        return LogLevel::Warn;
+    if (name == "inform" || name == "info" || name == "2")
+        return LogLevel::Inform;
+    if (name == "debug" || name == "3")
+        return LogLevel::Debug;
+    return fallback;
+}
+
+std::atomic<LogLevel> g_level{levelFromEnv(LogLevel::Warn)};
+
+/**
+ * Serialises emission so concurrent runner workers never interleave
+ * characters of two messages. Each *Impl composes the full line first
+ * and performs a single guarded ostream write.
+ */
+std::mutex &
+emitMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+void
+emit(std::ostream &os, const char *prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(std::strlen(prefix) + msg.size() + 1);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    const std::lock_guard<std::mutex> lock(emitMutex());
+    os << line << std::flush;
+}
 
 } // namespace
 
@@ -30,14 +86,14 @@ namespace detail
 void
 fatalImpl(const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << std::endl;
+    emit(std::cerr, "fatal: ", msg);
     std::exit(1);
 }
 
 void
 panicImpl(const std::string &msg)
 {
-    std::cerr << "panic: " << msg << std::endl;
+    emit(std::cerr, "panic: ", msg);
     std::abort();
 }
 
@@ -45,21 +101,21 @@ void
 warnImpl(const std::string &msg)
 {
     if (logLevel() >= LogLevel::Warn)
-        std::cerr << "warn: " << msg << std::endl;
+        emit(std::cerr, "warn: ", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
     if (logLevel() >= LogLevel::Inform)
-        std::cout << "info: " << msg << std::endl;
+        emit(std::cout, "info: ", msg);
 }
 
 void
 debugImpl(const std::string &msg)
 {
     if (logLevel() >= LogLevel::Debug)
-        std::cout << "debug: " << msg << std::endl;
+        emit(std::cout, "debug: ", msg);
 }
 
 } // namespace detail

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/probes.hh"
+#include "obs/recorder.hh"
 #include "policies/policy_util.hh"
 
 namespace iceb::core
@@ -46,17 +48,34 @@ IceBreakerPolicy::onIntervalStart(IntervalIndex interval,
 
     // 1. Close out the interval that just finished.
     if (interval > 0) {
+        obs::ProbeTable *probes = ctx_->recorder != nullptr
+            ? ctx_->recorder->probeTable()
+            : nullptr;
         for (FunctionId fn = 0; fn < functions_.size(); ++fn) {
             FunctionState &state = functions_[fn];
+            const std::uint32_t observed =
+                ctx_->trace->function(fn).at(interval - 1);
             state.tracker.recordInterval(state.invoked_this_interval,
                                          state.cold_this_interval,
-                                         state.wasted_this_interval);
+                                         state.wasted_this_interval,
+                                         state.last_prediction,
+                                         static_cast<double>(observed));
+            if (probes != nullptr &&
+                (state.last_prediction != 0.0 || observed != 0)) {
+                obs::ForecastSample sample;
+                sample.interval =
+                    static_cast<std::uint32_t>(interval - 1);
+                sample.fn = fn;
+                sample.predicted = state.last_prediction;
+                sample.actual = static_cast<double>(observed);
+                sample.window_mae =
+                    state.tracker.meanAbsForecastError();
+                probes->addForecastSample(sample);
+            }
             state.invoked_this_interval = 0;
             state.cold_this_interval = 0;
             state.wasted_this_interval = 0;
 
-            const std::uint32_t observed =
-                ctx_->trace->function(fn).at(interval - 1);
             state.max_observed = std::max(state.max_observed, observed);
             state.predictor.observe(static_cast<double>(observed));
         }
@@ -84,6 +103,7 @@ IceBreakerPolicy::onIntervalStart(IntervalIndex interval,
         state.predictor.forecastHorizon(config_.keep_alive_horizon + 1,
                                         horizon);
         const double prediction = horizon.front();
+        state.last_prediction = prediction;
         // The next interval beyond this one with predicted activity
         // drives post-execution keep-alive durations.
         state.next_predicted_gap = 0;

@@ -105,6 +105,8 @@ class IceBreakerPolicy : public sim::Policy
         std::uint32_t wasted_this_interval = 0;
         std::uint32_t max_observed = 0;
         double last_score = 0.4; //!< most recent S_u (mid by default)
+        /** horizon.front() of the most recent forecast (probe data). */
+        double last_prediction = 0.0;
         /** Steps until the next predicted invocation (0 = none). */
         std::uint32_t next_predicted_gap = 0;
         Tier last_warm_tier = Tier::HighEnd;

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "harness/observe.hh"
 #include "harness/registry.hh"
 
 namespace iceb::harness
@@ -17,6 +18,17 @@ ExperimentRunner::ExperimentRunner(std::size_t threads)
         if (threads_ == 0)
             threads_ = 1;
     }
+}
+
+ExperimentRunner::~ExperimentRunner() = default;
+ExperimentRunner::ExperimentRunner(ExperimentRunner &&) noexcept = default;
+ExperimentRunner &
+ExperimentRunner::operator=(ExperimentRunner &&) noexcept = default;
+
+void
+ExperimentRunner::setObservation(const ObservationOptions &options)
+{
+    observation_ = std::make_unique<ObservationOptions>(options);
 }
 
 std::vector<RunResult>
@@ -33,9 +45,21 @@ ExperimentRunner::run(const std::vector<RunSpec> &grid) const
     }
 
     std::vector<RunResult> results(grid.size());
+
+    // One recorder slot per run. Workers only ever touch their own
+    // run's slot, so recording needs no synchronisation and the
+    // observed stream per run is independent of thread count.
+    const bool observe =
+        observation_ != nullptr && observation_->enabled();
+    std::vector<std::unique_ptr<obs::RunRecorder>> recorders(
+        grid.size());
+    const obs::ObsConfig obs_config =
+        observe ? observation_->runConfig() : obs::ObsConfig{};
+
     std::atomic<std::size_t> next{0};
 
-    const auto worker = [&grid, &results, &next, &registry] {
+    const auto worker = [&grid, &results, &next, &registry, &recorders,
+                         &obs_config, observe] {
         while (true) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
@@ -44,26 +68,34 @@ ExperimentRunner::run(const std::vector<RunSpec> &grid) const
             const RunSpec &spec = grid[i];
             const std::unique_ptr<sim::Policy> policy =
                 registry.make(spec.scheme);
+            sim::SimulatorOptions options = sim::SimulatorOptions::forRun(
+                spec.base_seed, spec.run_index);
+            if (observe) {
+                recorders[i] =
+                    std::make_unique<obs::RunRecorder>(obs_config);
+                options.recorder = recorders[i].get();
+            }
             results[i].spec = spec;
             results[i].metrics = sim::runSimulation(
                 spec.workload->trace, spec.workload->profiles,
-                spec.cluster, *policy,
-                sim::SimulatorOptions::forRun(spec.base_seed,
-                                              spec.run_index));
+                spec.cluster, *policy, options);
         }
     };
 
     const std::size_t workers = std::min(threads_, grid.size());
     if (workers <= 1) {
         worker();
-        return results;
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t i = 0; i < workers; ++i)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
     }
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t i = 0; i < workers; ++i)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
+
+    if (observe)
+        writeObservations(*observation_, results, recorders);
     return results;
 }
 
@@ -127,8 +159,10 @@ runAllSchemesParallel(const Workload &workload,
     const std::vector<SweepPoint> points = {{"", cluster}};
     const std::vector<RunSpec> grid = buildGrid(
         schemes, workload, points, options.base_seed, options.repeats);
-    const std::vector<RunResult> results =
-        ExperimentRunner(options.threads).run(grid);
+    ExperimentRunner runner(options.threads);
+    if (options.observation != nullptr)
+        runner.setObservation(*options.observation);
+    const std::vector<RunResult> results = runner.run(grid);
     const std::vector<CellSummary> cells = summarizeGrid(results);
     ICEB_ASSERT(cells.size() == schemes.size(),
                 "scheme comparison produced an unexpected cell count");

@@ -20,6 +20,7 @@
 #define ICEB_HARNESS_RUNNER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,8 @@
 
 namespace iceb::harness
 {
+
+struct ObservationOptions; // harness/observe.hh
 
 /** Default base seed for repeated-seed experiment grids. */
 inline constexpr std::uint64_t kDefaultBaseSeed = 0x51AB'1CEBull;
@@ -58,9 +61,21 @@ class ExperimentRunner
   public:
     /** @param threads Worker count; 0 means hardware concurrency. */
     explicit ExperimentRunner(std::size_t threads = 0);
+    ~ExperimentRunner();
+
+    ExperimentRunner(ExperimentRunner &&) noexcept;
+    ExperimentRunner &operator=(ExperimentRunner &&) noexcept;
 
     /** Resolved worker count. */
     std::size_t threads() const { return threads_; }
+
+    /**
+     * Collect and export observability output (traces / probes /
+     * manifests) for every subsequent run() call. Each run gets its
+     * own RunRecorder and files are written in grid order after the
+     * pool joins, so output is byte-identical across thread counts.
+     */
+    void setObservation(const ObservationOptions &options);
 
     /**
      * Execute every spec (concurrently up to threads()) and return
@@ -71,6 +86,7 @@ class ExperimentRunner
 
   private:
     std::size_t threads_ = 1;
+    std::unique_ptr<ObservationOptions> observation_;
 };
 
 /** One sweep point: a labelled cluster configuration. */
@@ -116,6 +132,9 @@ struct RunnerOptions
     std::size_t threads = 0; //!< 0 = hardware concurrency
     std::size_t repeats = 1; //!< seed replicates per cell
     std::uint64_t base_seed = kDefaultBaseSeed;
+
+    /** Observability destinations (borrowed; null = off). */
+    const ObservationOptions *observation = nullptr;
 };
 
 /** One scheme's replicate-aggregated result. */

@@ -1,0 +1,123 @@
+#include "obs/probes.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace iceb::obs
+{
+
+ProbeTable::ProbeTable() = default;
+
+void ProbeTable::reserve(std::size_t intervals, std::size_t fns)
+{
+    interval_samples_.reserve(intervals);
+    forecast_samples_.reserve(intervals * fns);
+}
+
+namespace
+{
+
+/** Shortest round-trippable double, fixed "C"-style formatting. */
+void formatValue(char *buf, std::size_t n, double v)
+{
+    std::snprintf(buf, n, "%.17g", v);
+    // Prefer the shorter %.15g form when it round-trips exactly.
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.15g", v);
+    double back = 0.0;
+    std::sscanf(shorter, "%lf", &back);
+    if (back == v) {
+        std::snprintf(buf, n, "%s", shorter);
+    }
+}
+
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &out) : out_(out)
+    {
+        out_ << "run,interval,time_ms,series,tier,fn,value\n";
+    }
+
+    void clusterRow(const std::string &run, std::uint32_t interval,
+                    TimeMs time, const char *series, const char *tier,
+                    std::int64_t value)
+    {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      ",%u,%" PRId64 ",%s,%s,,%" PRId64 "\n", interval,
+                      time, series, tier, value);
+        out_ << run << buf;
+    }
+
+    void clusterRowF(const std::string &run, std::uint32_t interval,
+                     TimeMs time, const char *series, const char *tier,
+                     double value)
+    {
+        char val[64];
+        formatValue(val, sizeof(val), value);
+        char buf[200];
+        std::snprintf(buf, sizeof(buf), ",%u,%" PRId64 ",%s,%s,,%s\n",
+                      interval, time, series, tier, val);
+        out_ << run << buf;
+    }
+
+    void forecastRow(const std::string &run, std::uint32_t interval,
+                     const char *series, FunctionId fn, double value)
+    {
+        char val[64];
+        formatValue(val, sizeof(val), value);
+        char buf[200];
+        std::snprintf(buf, sizeof(buf), ",%u,,%s,,%u,%s\n", interval,
+                      series, static_cast<unsigned>(fn), val);
+        out_ << run << buf;
+    }
+
+  private:
+    std::ostream &out_;
+};
+
+} // namespace
+
+void writeProbeCsv(std::ostream &out, const std::vector<ProbeRun> &runs)
+{
+    CsvWriter w(out);
+    for (const ProbeRun &run : runs) {
+        if (run.probes == nullptr) {
+            continue;
+        }
+        const ProbeTable &t = *run.probes;
+        for (std::size_t i = 0; i < t.intervalSampleCount(); ++i) {
+            const IntervalSample &s = t.intervalSample(i);
+            for (std::size_t ti = 0; ti < kNumTiers; ++ti) {
+                const char *tier =
+                    tierName(static_cast<Tier>(ti));
+                w.clusterRow(run.run, s.interval, s.time, "idle_warm",
+                             tier, s.idle_warm[ti]);
+                w.clusterRow(run.run, s.interval, s.time, "in_setup",
+                             tier, s.in_setup[ti]);
+                w.clusterRow(run.run, s.interval, s.time, "used_mb",
+                             tier, s.used_mb[ti]);
+                w.clusterRow(run.run, s.interval, s.time, "total_mb",
+                             tier, s.total_mb[ti]);
+                w.clusterRowF(run.run, s.interval, s.time,
+                              "keep_alive_cost", tier,
+                              s.keep_alive_cost[ti]);
+            }
+            w.clusterRow(run.run, s.interval, s.time, "wait_queue", "",
+                         s.wait_queue);
+        }
+        for (std::size_t i = 0; i < t.forecastSampleCount(); ++i) {
+            const ForecastSample &s = t.forecastSample(i);
+            w.forecastRow(run.run, s.interval, "forecast_predicted",
+                          s.fn, s.predicted);
+            w.forecastRow(run.run, s.interval, "forecast_actual", s.fn,
+                          s.actual);
+            w.forecastRow(run.run, s.interval, "forecast_window_mae",
+                          s.fn, s.window_mae);
+        }
+    }
+}
+
+} // namespace iceb::obs

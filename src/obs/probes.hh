@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Time-series probes: columnar per-interval samples of cluster state
+ * (warm-pool occupancy, memory utilization, wait-queue depth,
+ * keep-alive cost accrual) plus per-function forecast-vs-actual
+ * error, exported as tidy CSV (one `(series, value)` row per sample).
+ *
+ * A ProbeTable belongs to exactly one simulation run (like a
+ * TraceSink) and is sampled at decision-interval boundaries, before
+ * the policy acts — so a sample shows the state the policy saw, not
+ * the state it produced.
+ */
+
+#ifndef ICEB_OBS_PROBES_HH
+#define ICEB_OBS_PROBES_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace iceb::obs
+{
+
+/** Cluster-wide state sampled at one decision-interval boundary. */
+struct IntervalSample
+{
+    std::uint32_t interval = 0; //!< decision-interval index
+    TimeMs time = 0;            //!< boundary time (simulated ms)
+    std::array<std::int64_t, kNumTiers> idle_warm{};  //!< idle-warm pool size
+    std::array<std::int64_t, kNumTiers> in_setup{};   //!< containers in setup
+    std::array<MemoryMb, kNumTiers> used_mb{};        //!< memory in use
+    std::array<MemoryMb, kNumTiers> total_mb{};       //!< tier capacity
+    std::int64_t wait_queue = 0;                      //!< queued invocations
+    std::array<double, kNumTiers> keep_alive_cost{};  //!< cumulative $
+};
+
+/** One function's forecast vs. outcome for one closed interval. */
+struct ForecastSample
+{
+    std::uint32_t interval = 0; //!< interval the forecast was FOR
+    FunctionId fn = kInvalidFunction;
+    double predicted = 0.0;     //!< invocations forecast last interval
+    double actual = 0.0;        //!< invocations observed
+    double window_mae = 0.0;    //!< windowed mean absolute error
+};
+
+/** Columnar store for one run's probe samples. */
+class ProbeTable
+{
+  public:
+    ProbeTable();
+
+    /** Preallocate for @p intervals boundaries (x @p fns forecasts). */
+    void reserve(std::size_t intervals, std::size_t fns);
+
+    void addIntervalSample(const IntervalSample &sample)
+    {
+        interval_samples_.push_back(sample);
+    }
+
+    void addForecastSample(const ForecastSample &sample)
+    {
+        forecast_samples_.push_back(sample);
+    }
+
+    std::size_t intervalSampleCount() const
+    {
+        return interval_samples_.size();
+    }
+
+    std::size_t forecastSampleCount() const
+    {
+        return forecast_samples_.size();
+    }
+
+    const IntervalSample &intervalSample(std::size_t i) const
+    {
+        return interval_samples_[i];
+    }
+
+    const ForecastSample &forecastSample(std::size_t i) const
+    {
+        return forecast_samples_[i];
+    }
+
+  private:
+    std::vector<IntervalSample> interval_samples_;
+    std::vector<ForecastSample> forecast_samples_;
+};
+
+/** One run's probes, labelled for CSV export. */
+struct ProbeRun
+{
+    std::string run;                    //!< run label (scheme / point)
+    const ProbeTable *probes = nullptr;
+};
+
+/**
+ * Write runs as tidy CSV with header
+ * `run,interval,time_ms,series,tier,fn,value`: cluster series carry a
+ * tier (or blank for scalars like wait_queue) and a blank fn;
+ * forecast series carry a fn and blank tier. Formatting is
+ * locale-independent and deterministic.
+ */
+void writeProbeCsv(std::ostream &out, const std::vector<ProbeRun> &runs);
+
+} // namespace iceb::obs
+
+#endif // ICEB_OBS_PROBES_HH

@@ -1,0 +1,12 @@
+#include "obs/recorder.hh"
+
+namespace iceb::obs
+{
+
+RunRecorder::RunRecorder(const ObsConfig &config)
+    : trace_(config.trace), probes_(config.probes),
+      trace_sink_(config.trace ? config.trace_capacity : 2)
+{
+}
+
+} // namespace iceb::obs

@@ -1,6 +1,7 @@
 #include "predictors/prediction_tracker.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 
@@ -16,7 +17,8 @@ PredictionTracker::PredictionTracker(std::size_t window)
 void
 PredictionTracker::recordInterval(std::uint32_t invoked,
                                   std::uint32_t cold_starts,
-                                  std::uint32_t wasted_warmups)
+                                  std::uint32_t wasted_warmups,
+                                  double predicted, double actual)
 {
     ICEB_ASSERT(cold_starts <= invoked,
                 "more cold starts than invocations");
@@ -25,12 +27,16 @@ PredictionTracker::recordInterval(std::uint32_t invoked,
         sum_invoked_ -= old.invoked;
         sum_cold_ -= old.cold;
         sum_wasted_ -= old.wasted;
+        sum_abs_error_ -= old.abs_forecast_error;
         records_.pop_front();
     }
-    records_.push_back(Record{invoked, cold_starts, wasted_warmups});
+    const double abs_error = std::abs(predicted - actual);
+    records_.push_back(
+        Record{invoked, cold_starts, wasted_warmups, abs_error});
     sum_invoked_ += invoked;
     sum_cold_ += cold_starts;
     sum_wasted_ += wasted_warmups;
+    sum_abs_error_ += abs_error;
 }
 
 double
@@ -53,6 +59,14 @@ PredictionTracker::falsePositiveRate() const
         static_cast<double>(sum_invoked_);
 }
 
+double
+PredictionTracker::meanAbsForecastError() const
+{
+    if (records_.empty())
+        return 0.0;
+    return sum_abs_error_ / static_cast<double>(records_.size());
+}
+
 void
 PredictionTracker::reset()
 {
@@ -60,6 +74,7 @@ PredictionTracker::reset()
     sum_invoked_ = 0;
     sum_cold_ = 0;
     sum_wasted_ = 0;
+    sum_abs_error_ = 0.0;
 }
 
 } // namespace iceb::predictors

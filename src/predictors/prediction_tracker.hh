@@ -34,9 +34,14 @@ class PredictionTracker
      * @param cold_starts Of those, how many were cold.
      * @param wasted_warmups Instances warmed in the interval that
      *                       were destroyed without serving anyone.
+     * @param predicted The FIP's forecast for the interval, and
+     * @param actual the load actually observed — both optional; they
+     *               feed the windowed forecast-error probe only and
+     *               never affect T_n / F_p.
      */
     void recordInterval(std::uint32_t invoked, std::uint32_t cold_starts,
-                        std::uint32_t wasted_warmups);
+                        std::uint32_t wasted_warmups,
+                        double predicted = 0.0, double actual = 0.0);
 
     /** T_n: cold starts / invocations over the window, in [0, 1]. */
     double trueNegativeRate() const;
@@ -51,6 +56,12 @@ class PredictionTracker
     /** Invocations currently inside the window. */
     std::uint64_t windowInvocations() const { return sum_invoked_; }
 
+    /**
+     * Mean |predicted - actual| over the window (0 with no records).
+     * Purely observational — exported by the probe layer.
+     */
+    double meanAbsForecastError() const;
+
     /** Drop all state. */
     void reset();
 
@@ -60,6 +71,7 @@ class PredictionTracker
         std::uint32_t invoked = 0;
         std::uint32_t cold = 0;
         std::uint32_t wasted = 0;
+        double abs_forecast_error = 0.0;
     };
 
     std::size_t window_;
@@ -67,6 +79,7 @@ class PredictionTracker
     std::uint64_t sum_invoked_ = 0;
     std::uint64_t sum_cold_ = 0;
     std::uint64_t sum_wasted_ = 0;
+    double sum_abs_error_ = 0.0;
 };
 
 } // namespace iceb::predictors

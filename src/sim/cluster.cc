@@ -283,6 +283,7 @@ ClusterState::ensureWarmImpl(FunctionId fn, Tier tier, std::size_t count,
     // Create the shortfall from vacant memory (optionally evicting
     // lower-priority idle containers of other functions).
     const workload::FunctionProfile &profile = profileOf(fn);
+    std::size_t created = 0;
     while (provisioned < count) {
         ServerId server = pickServer(tier, profile.memory_mb);
         if (server == kInvalidServer && evict_with &&
@@ -304,6 +305,11 @@ ClusterState::ensureWarmImpl(FunctionId fn, Tier tier, std::size_t count,
         ready.container = id;
         events_.push(ready);
         ++provisioned;
+        ++created;
+    }
+    if (created > 0) {
+        ICEB_TRACE(tsink_, obs::TraceKind::WarmupIssued, now_, fn, tier,
+                   obs::ColdCause::None, created);
     }
     return provisioned;
 }
@@ -361,6 +367,10 @@ ClusterState::acquireWarm(FunctionId fn, const std::array<Tier, 2> &order)
         metrics_.recordKeepAlive(c.tier, fn, c.memory_mb,
                                  now_ - c.idle_since, true,
                                  rateMbMs(c.tier));
+        if (c.prewarmed_unused) {
+            ICEB_TRACE(tsink_, obs::TraceKind::WarmupConsumed, now_, fn,
+                       c.tier, obs::ColdCause::None, 0);
+        }
         c.state = ContainerState::Running;
         c.prewarmed_unused = false;
         c.last_used = now_;
@@ -385,6 +395,10 @@ ClusterState::acquireSetup(FunctionId fn, const std::array<Tier, 2> &order)
         setupUnlink(setup, c);
         ICEB_ASSERT(c.state == ContainerState::Setup,
                     "setup pool out of sync");
+        if (c.prewarmed_unused) {
+            ICEB_TRACE(tsink_, obs::TraceKind::WarmupConsumed, now_, fn,
+                       c.tier, obs::ColdCause::None, 0);
+        }
         c.state = ContainerState::Running;
         c.prewarmed_unused = false;
         c.last_used = now_;
@@ -479,8 +493,12 @@ ClusterState::destroyContainer(Container &c, bool wasteful,
     } else if (c.state == ContainerState::Setup) {
         setupUnlink(pools_[c.fn].setup[t], c);
     }
-    if (wasteful && c.prewarmed_unused && policy)
-        policy->onWarmupWasted(c.fn, c.tier, now_);
+    if (wasteful && c.prewarmed_unused) {
+        ICEB_TRACE(tsink_, obs::TraceKind::WarmupWasted, now_, c.fn,
+                   c.tier, obs::ColdCause::None, 0);
+        if (policy)
+            policy->onWarmupWasted(c.fn, c.tier, now_);
+    }
 
     Server &host = servers_[c.server];
     host.free_mb += c.memory_mb;
@@ -524,6 +542,10 @@ ClusterState::evictToFit(Tier tier, MemoryMb memory_mb, Policy &policy,
                 continue;
             }
             policy.onEviction(victim->fn, victim->tier, now_);
+            ICEB_TRACE(tsink_, obs::TraceKind::Eviction, now_,
+                       victim->fn, victim->tier, obs::ColdCause::None,
+                       static_cast<std::uint64_t>(
+                           now_ - victim->idle_since));
             destroyContainer(*victim, true, &policy);
             evicted = true;
             break;
@@ -577,6 +599,8 @@ ClusterState::handlePrewarmStart(const Event &event, Policy &policy)
     ready.type = EventType::PrewarmReady;
     ready.container = id;
     events_.push(ready);
+    ICEB_TRACE(tsink_, obs::TraceKind::WarmupIssued, now_, event.fn,
+               tier, obs::ColdCause::None, 1);
 }
 
 void
@@ -625,6 +649,9 @@ ClusterState::handleContainerExpiry(const Event &event, Policy &policy)
     ICEB_ASSERT(c.id == event.container &&
                     c.state == ContainerState::IdleWarm,
                 "expiry stamp out of sync");
+    ICEB_TRACE(tsink_, obs::TraceKind::Expiry, now_, c.fn, c.tier,
+               obs::ColdCause::None,
+               static_cast<std::uint64_t>(now_ - c.idle_since));
     destroyContainer(c, true, &policy);
 }
 
@@ -632,6 +659,21 @@ const Container &
 ClusterState::container(ContainerId id) const
 {
     return containers_.at(id);
+}
+
+void
+ClusterState::sampleOccupancy(
+    std::array<std::int64_t, kNumTiers> &idle_warm,
+    std::array<std::int64_t, kNumTiers> &in_setup) const
+{
+    idle_warm.fill(0);
+    in_setup.fill(0);
+    for (const FunctionPools &pools : pools_) {
+        for (std::size_t t = 0; t < kNumTiers; ++t) {
+            idle_warm[t] += pools.idle[t].size;
+            in_setup[t] += pools.setup[t].size;
+        }
+    }
 }
 
 } // namespace iceb::sim

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/trace_sink.hh"
 #include "sim/cluster_config.hh"
 #include "sim/event_queue.hh"
 #include "sim/metrics.hh"
@@ -121,6 +122,17 @@ class ClusterState : public WarmupInterface
 
     /** Advance the cluster's notion of "now". */
     void setNow(TimeMs now) { now_ = now; }
+
+    /** Attach this run's trace sink (null = tracing off). */
+    void setTraceSink(obs::TraceSink *sink) { tsink_ = sink; }
+
+    /**
+     * Sum the idle-warm / in-setup pool sizes per tier (probe
+     * sampling; O(functions)).
+     */
+    void sampleOccupancy(
+        std::array<std::int64_t, kNumTiers> &idle_warm,
+        std::array<std::int64_t, kNumTiers> &in_setup) const;
 
     // WarmupInterface
     TimeMs now() const override { return now_; }
@@ -288,6 +300,7 @@ class ClusterState : public WarmupInterface
     const std::vector<workload::FunctionProfile> &profiles_;
     EventQueue &events_;
     MetricsCollector &metrics_;
+    obs::TraceSink *tsink_ = nullptr;
 
     TimeMs now_ = 0;
     std::vector<Server> servers_;

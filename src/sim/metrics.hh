@@ -225,6 +225,9 @@ class MetricsCollector
     /** Mutable access to the event-loop counters. */
     EventLoopStats &eventLoop() { return metrics_.event_loop; }
 
+    /** Read-only view of the accumulating metrics (probe sampling). */
+    const SimulationMetrics &current() const { return metrics_; }
+
     /** Finish and take the result. */
     SimulationMetrics take();
 

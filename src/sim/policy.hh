@@ -26,6 +26,11 @@
 #include "trace/trace.hh"
 #include "workload/function_profile.hh"
 
+namespace iceb::obs
+{
+class RunRecorder;
+} // namespace iceb::obs
+
 namespace iceb::sim
 {
 
@@ -44,6 +49,13 @@ struct SimContext
      * OraclePolicy; online policies must not read it.
      */
     const std::vector<std::vector<TimeMs>> *arrival_schedule = nullptr;
+
+    /**
+     * This run's observability sinks, or null when observation is off.
+     * Policies may append forecast probes; they must not base any
+     * decision on it (observation never changes results).
+     */
+    obs::RunRecorder *recorder = nullptr;
 };
 
 class Policy;

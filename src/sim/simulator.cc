@@ -4,6 +4,8 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/probes.hh"
+#include "obs/recorder.hh"
 
 namespace iceb::sim
 {
@@ -45,6 +47,17 @@ Simulator::Simulator(
     context_.cluster = &config_;
     context_.interval_ms = trace_.intervalMs();
     context_.arrival_schedule = &arrival_schedule_;
+    context_.recorder = options_.recorder;
+
+    if (options_.recorder != nullptr) {
+        tsink_ = options_.recorder->traceSink();
+        probes_ = options_.recorder->probeTable();
+        cluster_.setTraceSink(tsink_);
+        if (probes_ != nullptr) {
+            probes_->reserve(trace_.numIntervals(),
+                             trace_.numFunctions());
+        }
+    }
 }
 
 void
@@ -216,6 +229,14 @@ Simulator::run()
         ++stats.popped[static_cast<std::size_t>(event->type)];
         switch (event->type) {
           case EventType::IntervalTick:
+            ICEB_TRACE(tsink_, obs::TraceKind::IntervalStart, now_,
+                       kInvalidFunction, Tier::HighEnd,
+                       obs::ColdCause::None,
+                       static_cast<std::uint64_t>(event->interval));
+            // Sample BEFORE the policy acts: the probe row shows the
+            // state the decision saw, not the one it produced.
+            if (probes_ != nullptr)
+                sampleIntervalProbes(event->interval);
             policy_.onIntervalStart(event->interval, cluster_);
             openArrivalWindow(event->interval);
             break;
@@ -261,6 +282,9 @@ void
 Simulator::pushWaiting(FunctionId fn, TimeMs arrival)
 {
     wait_queue_.push_back(QueuedInvocation{fn, arrival});
+    ICEB_TRACE(tsink_, obs::TraceKind::Enqueued, now_, fn,
+               Tier::HighEnd, obs::ColdCause::None,
+               static_cast<std::uint64_t>(waitCount()));
     // Peak *storage* length (head offset + population), so reserving
     // it as a hint guarantees an allocation-free repeat run.
     EventLoopStats &stats = metrics_.eventLoop();
@@ -290,6 +314,8 @@ Simulator::popWaiting()
 void
 Simulator::handleArrival(FunctionId fn, TimeMs arrival)
 {
+    ICEB_TRACE(tsink_, obs::TraceKind::Arrival, arrival, fn,
+               Tier::HighEnd, obs::ColdCause::None, 0);
     if (waitCount() > 0) {
         // Preserve FIFO order behind already-waiting invocations.
         pushWaiting(fn, arrival);
@@ -305,19 +331,23 @@ Simulator::tryPlace(FunctionId fn, TimeMs arrival)
     const std::array<Tier, 2> order = policy_.coldPlacementOrder(fn);
 
     if (auto acq = cluster_.acquireWarm(fn, order)) {
-        startExecution(*acq, fn, arrival);
+        startExecution(*acq, fn, arrival, obs::ColdCause::None);
         return true;
     }
     if (auto acq = cluster_.acquireSetup(fn, order)) {
         if (acq->cold)
             metrics_.recordColdCause(true, true);
-        startExecution(*acq, fn, arrival);
+        startExecution(*acq, fn, arrival,
+                       acq->cold ? obs::ColdCause::SetupAttach
+                                 : obs::ColdCause::None);
         return true;
     }
     const bool had_live = cluster_.liveCount(fn) > 0;
     if (auto acq = cluster_.acquireCold(fn, order, policy_)) {
         metrics_.recordColdCause(false, had_live);
-        startExecution(*acq, fn, arrival);
+        startExecution(*acq, fn, arrival,
+                       had_live ? obs::ColdCause::AllBusy
+                                : obs::ColdCause::NoContainer);
         return true;
     }
     return false;
@@ -325,7 +355,8 @@ Simulator::tryPlace(FunctionId fn, TimeMs arrival)
 
 void
 Simulator::startExecution(const ClusterState::Acquisition &acq,
-                          FunctionId fn, TimeMs arrival)
+                          FunctionId fn, TimeMs arrival,
+                          obs::ColdCause cause)
 {
     const workload::FunctionProfile &profile = profiles_[fn];
     const TimeMs exec_ms = profile.execMs(acq.tier);
@@ -352,6 +383,35 @@ Simulator::startExecution(const ClusterState::Acquisition &acq,
     outcome.exec_ms = exec_ms;
     outcome.overhead_ms = policy_.overheadMs();
     metrics_.recordInvocation(outcome);
+
+    if (outcome.cold) {
+        ICEB_TRACE(tsink_, obs::TraceKind::ColdStart, now_, fn, acq.tier,
+                   cause,
+                   static_cast<std::uint64_t>(outcome.cold_start_ms));
+    } else {
+        ICEB_TRACE(tsink_, obs::TraceKind::WarmStart, now_, fn, acq.tier,
+                   obs::ColdCause::None,
+                   static_cast<std::uint64_t>(exec_ms));
+    }
+}
+
+void
+Simulator::sampleIntervalProbes(IntervalIndex interval)
+{
+    obs::IntervalSample sample;
+    sample.interval = static_cast<std::uint32_t>(interval);
+    sample.time = now_;
+    cluster_.sampleOccupancy(sample.idle_warm, sample.in_setup);
+    const SimulationMetrics &accrued = metrics_.current();
+    for (std::size_t t = 0; t < kNumTiers; ++t) {
+        const auto tier = static_cast<Tier>(t);
+        sample.total_mb[t] = cluster_.totalMemoryMb(tier);
+        sample.used_mb[t] =
+            sample.total_mb[t] - cluster_.vacantMemoryMb(tier);
+        sample.keep_alive_cost[t] = accrued.keep_alive[t].totalCost();
+    }
+    sample.wait_queue = static_cast<std::int64_t>(waitCount());
+    probes_->addIntervalSample(sample);
 }
 
 void

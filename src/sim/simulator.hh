@@ -23,12 +23,18 @@
 
 #include <memory>
 
+#include "obs/trace_sink.hh"
 #include "sim/cluster.hh"
 #include "sim/event_queue.hh"
 #include "sim/metrics.hh"
 #include "sim/policy.hh"
 #include "trace/trace.hh"
 #include "workload/function_profile.hh"
+
+namespace iceb::obs
+{
+class ProbeTable;
+} // namespace iceb::obs
 
 namespace iceb::sim
 {
@@ -46,6 +52,13 @@ struct SimulatorOptions
      * run allocation-free in steady state.
      */
     SimCapacityHints hints;
+
+    /**
+     * Observability sinks for this run (borrowed, may be null).
+     * Observation is strictly write-only: attaching a recorder never
+     * changes the simulation's results.
+     */
+    obs::RunRecorder *recorder = nullptr;
 
     /**
      * Options for run @p run_index of a repeated-seed experiment: the
@@ -104,7 +117,9 @@ class Simulator
     void handleArrival(FunctionId fn, TimeMs arrival);
     bool tryPlace(FunctionId fn, TimeMs arrival);
     void startExecution(const ClusterState::Acquisition &acq,
-                        FunctionId fn, TimeMs arrival);
+                        FunctionId fn, TimeMs arrival,
+                        obs::ColdCause cause);
+    void sampleIntervalProbes(IntervalIndex interval);
     void drainQueue();
 
     std::size_t waitCount() const
@@ -124,6 +139,10 @@ class Simulator
     MetricsCollector metrics_;
     ClusterState cluster_;
     SimContext context_;
+
+    /** Resolved observability sinks (null when observation is off). */
+    obs::TraceSink *tsink_ = nullptr;
+    obs::ProbeTable *probes_ = nullptr;
 
     /** Exact arrival times per function (sorted); Oracle's input. */
     std::vector<std::vector<TimeMs>> arrival_schedule_;

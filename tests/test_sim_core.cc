@@ -343,4 +343,68 @@ TEST(MetricsTest, ColdCauseCounters)
     EXPECT_EQ(m.cold_no_container, 2u);
 }
 
+TEST(MetricsMergeTest, ColdCauseSplitAdds)
+{
+    MetricsCollector a(1);
+    a.recordColdCause(false, false); // no container
+    a.recordColdCause(false, true);  // all busy
+    MetricsCollector b(1);
+    b.recordColdCause(true, true);   // setup attach
+    b.recordColdCause(false, false); // no container
+    b.recordColdCause(false, true);  // all busy
+
+    SimulationMetrics merged = a.take();
+    merged.merge(b.take());
+    EXPECT_EQ(merged.cold_no_container, 2u);
+    EXPECT_EQ(merged.cold_all_busy, 2u);
+    EXPECT_EQ(merged.cold_setup_attach, 1u);
+    // The split partitions exactly the causes recorded across runs.
+    EXPECT_EQ(merged.cold_no_container + merged.cold_all_busy +
+                  merged.cold_setup_attach,
+              5u);
+}
+
+TEST(MetricsMergeTest, EventLoopCountsAddPeaksMax)
+{
+    EventLoopStats a;
+    a.popped[0] = 10;
+    a.popped[3] = 4;
+    a.stale_expiry_events = 2;
+    a.stale_evict_entries = 7;
+    a.eviction_victims_examined = 5;
+    a.peak_live_containers = 100;
+    a.peak_pending_events = 3;
+    a.peak_bucket_events = 9;
+    a.peak_evict_entries = 40;
+    a.peak_wait_queue = 1;
+
+    EventLoopStats b;
+    b.popped[0] = 1;
+    b.popped[5] = 6;
+    b.stale_expiry_events = 1;
+    b.stale_evict_entries = 0;
+    b.eviction_victims_examined = 2;
+    b.peak_live_containers = 60;
+    b.peak_pending_events = 8;
+    b.peak_bucket_events = 2;
+    b.peak_evict_entries = 41;
+    b.peak_wait_queue = 0;
+
+    a.merge(b);
+    // Work counters add across replicates ...
+    EXPECT_EQ(a.popped[0], 11u);
+    EXPECT_EQ(a.popped[3], 4u);
+    EXPECT_EQ(a.popped[5], 6u);
+    EXPECT_EQ(a.totalPopped(), 21u);
+    EXPECT_EQ(a.stale_expiry_events, 3u);
+    EXPECT_EQ(a.stale_evict_entries, 7u);
+    EXPECT_EQ(a.eviction_victims_examined, 7u);
+    // ... while capacity peaks take the max, never the sum.
+    EXPECT_EQ(a.peak_live_containers, 100u);
+    EXPECT_EQ(a.peak_pending_events, 8u);
+    EXPECT_EQ(a.peak_bucket_events, 9u);
+    EXPECT_EQ(a.peak_evict_entries, 41u);
+    EXPECT_EQ(a.peak_wait_queue, 1u);
+}
+
 } // namespace
