@@ -89,13 +89,17 @@ class HandHeterogeneousPolicy : public sim::Policy
     const char *name() const override { return "hand-heterogeneous"; }
 
     void
+    onIntervalObserved(const sim::IntervalObservation &closed) override
+    {
+        if (closed.arrivalsFor(0) > 0)
+            last_arrival_ = closed.interval;
+    }
+
+    void
     onIntervalStart(IntervalIndex interval,
                     sim::WarmupInterface &cluster) override
     {
-        if (interval > 0 && ctx_->trace->function(0).at(interval - 1) >
-                0) {
-            last_arrival_ = interval - 1;
-        }
+        (void)interval;
         // While inside (high window, high+low window] minutes since
         // the last arrival, hold one warm instance on the low tier.
         if (last_arrival_ < 0)

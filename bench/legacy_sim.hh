@@ -713,11 +713,15 @@ class Simulator
           cluster_(config, profiles, events_, metrics_)
     {
         buildArrivalSchedule();
-        context_.trace = &trace_;
+        // Frozen pre-refactor core: it predates the streaming
+        // observation feed and never pushes IntervalObservations, so
+        // it can only drive observation-free policies (bench_sim uses
+        // OpenWhisk). That also keeps it a clean same-machine control
+        // for measuring what the streaming boundary costs.
+        context_.num_functions = trace_.numFunctions();
         context_.profiles = &profiles_;
         context_.cluster = &config;
         context_.interval_ms = trace_.intervalMs();
-        context_.arrival_schedule = &arrival_schedule_;
     }
 
     SimulationMetrics

@@ -40,6 +40,22 @@ class EchoPolicy : public sim::Policy
     const char *name() const override { return "echo"; }
 
     void
+    initialize(const sim::SimContext &ctx) override
+    {
+        Policy::initialize(ctx);
+        previous_.assign(ctx.num_functions, 0);
+    }
+
+    void
+    onIntervalObserved(const sim::IntervalObservation &closed) override
+    {
+        // The policy's entire history state: last interval's counts,
+        // copied out of the pushed observation batch.
+        for (FunctionId fn = 0; fn < previous_.size(); ++fn)
+            previous_[fn] = closed.arrivalsFor(fn);
+    }
+
+    void
     onIntervalStart(IntervalIndex interval,
                     sim::WarmupInterface &cluster) override
     {
@@ -47,13 +63,10 @@ class EchoPolicy : public sim::Policy
             return;
         const TimeMs expiry = cluster.now() + ctx_->interval_ms +
             policies::kRenewalGraceMs;
-        for (FunctionId fn = 0; fn < ctx_->trace->numFunctions();
-             ++fn) {
-            const std::uint32_t previous =
-                ctx_->trace->function(fn).at(interval - 1);
-            if (previous > 0) {
+        for (FunctionId fn = 0; fn < previous_.size(); ++fn) {
+            if (previous_[fn] > 0) {
                 policies::warmWithSpill(cluster, fn, Tier::HighEnd,
-                                        previous, expiry, *this);
+                                        previous_[fn], expiry, *this);
             }
         }
     }
@@ -69,6 +82,9 @@ class EchoPolicy : public sim::Policy
         return (now / interval + 1) * interval - now +
             policies::kRenewalGraceMs;
     }
+
+  private:
+    std::vector<std::uint32_t> previous_;
 };
 
 } // namespace

@@ -20,7 +20,7 @@ void
 IceBreakerPolicy::initialize(const sim::SimContext &ctx)
 {
     Policy::initialize(ctx);
-    const std::size_t n = ctx.trace->numFunctions();
+    const std::size_t n = ctx.num_functions;
     functions_.clear();
     functions_.reserve(n);
     std::vector<double> memory_ratios(n, 0.0);
@@ -39,47 +39,50 @@ IceBreakerPolicy::initialize(const sim::SimContext &ctx)
 }
 
 void
+IceBreakerPolicy::onIntervalObserved(
+    const sim::IntervalObservation &closed)
+{
+    // 1. Close out the interval that just finished: fold the pushed
+    // arrival counts into each function's tracker and FIP window.
+    obs::ProbeTable *probes = ctx_->recorder != nullptr
+        ? ctx_->recorder->probeTable()
+        : nullptr;
+    for (FunctionId fn = 0; fn < functions_.size(); ++fn) {
+        FunctionState &state = functions_[fn];
+        const std::uint32_t observed = closed.arrivalsFor(fn);
+        state.tracker.recordInterval(state.invoked_this_interval,
+                                     state.cold_this_interval,
+                                     state.wasted_this_interval,
+                                     state.last_prediction,
+                                     static_cast<double>(observed));
+        if (probes != nullptr &&
+            (state.last_prediction != 0.0 || observed != 0)) {
+            obs::ForecastSample sample;
+            sample.interval =
+                static_cast<std::uint32_t>(closed.interval);
+            sample.fn = fn;
+            sample.predicted = state.last_prediction;
+            sample.actual = static_cast<double>(observed);
+            sample.window_mae =
+                state.tracker.meanAbsForecastError();
+            probes->addForecastSample(sample);
+        }
+        state.invoked_this_interval = 0;
+        state.cold_this_interval = 0;
+        state.wasted_this_interval = 0;
+
+        state.max_observed = std::max(state.max_observed, observed);
+        state.predictor.observe(static_cast<double>(observed));
+    }
+}
+
+void
 IceBreakerPolicy::onIntervalStart(IntervalIndex interval,
                                   sim::WarmupInterface &cluster)
 {
     const TimeMs now = cluster.now();
     const TimeMs expiry =
         now + ctx_->interval_ms + policies::kRenewalGraceMs;
-
-    // 1. Close out the interval that just finished.
-    if (interval > 0) {
-        obs::ProbeTable *probes = ctx_->recorder != nullptr
-            ? ctx_->recorder->probeTable()
-            : nullptr;
-        for (FunctionId fn = 0; fn < functions_.size(); ++fn) {
-            FunctionState &state = functions_[fn];
-            const std::uint32_t observed =
-                ctx_->trace->function(fn).at(interval - 1);
-            state.tracker.recordInterval(state.invoked_this_interval,
-                                         state.cold_this_interval,
-                                         state.wasted_this_interval,
-                                         state.last_prediction,
-                                         static_cast<double>(observed));
-            if (probes != nullptr &&
-                (state.last_prediction != 0.0 || observed != 0)) {
-                obs::ForecastSample sample;
-                sample.interval =
-                    static_cast<std::uint32_t>(interval - 1);
-                sample.fn = fn;
-                sample.predicted = state.last_prediction;
-                sample.actual = static_cast<double>(observed);
-                sample.window_mae =
-                    state.tracker.meanAbsForecastError();
-                probes->addForecastSample(sample);
-            }
-            state.invoked_this_interval = 0;
-            state.cold_this_interval = 0;
-            state.wasted_this_interval = 0;
-
-            state.max_observed = std::max(state.max_observed, observed);
-            state.predictor.observe(static_cast<double>(observed));
-        }
-    }
 
     // 2. Dynamic cut-offs from tier occupancy.
     const auto vacant_frac = [&](Tier tier) {

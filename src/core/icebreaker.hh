@@ -6,8 +6,10 @@
  * (Sec. 3), expressed as a simulator Policy.
  *
  * Per decision interval it:
- *  1. closes out the finished interval into each function's
- *     true-negative / false-positive tracker and FIP window;
+ *  1. folds the closed interval's pushed arrival observations into
+ *     each function's true-negative / false-positive tracker and FIP
+ *     window (onIntervalObserved — the policy keeps its own history;
+ *     it never reads a trace);
  *  2. predicts every function's invocation concurrency for the new
  *     interval (trend polynomial + top-10 harmonics);
  *  3. scores the predicted-active functions (Eq. 1), min-max
@@ -80,6 +82,8 @@ class IceBreakerPolicy : public sim::Policy
     const char *name() const override { return "icebreaker"; }
 
     void initialize(const sim::SimContext &ctx) override;
+    void onIntervalObserved(
+        const sim::IntervalObservation &closed) override;
     void onIntervalStart(IntervalIndex interval,
                          sim::WarmupInterface &cluster) override;
     void onExecutionStart(FunctionId fn, Tier tier, bool cold,

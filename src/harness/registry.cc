@@ -6,6 +6,7 @@
 #include "policies/openwhisk_policy.hh"
 #include "policies/oracle_policy.hh"
 #include "policies/wild_policy.hh"
+#include "serve/decision_engine.hh"
 
 namespace iceb::harness
 {
@@ -96,6 +97,13 @@ std::unique_ptr<sim::Policy>
 makePolicyByName(const std::string &name)
 {
     return PolicyRegistry::instance().make(name);
+}
+
+std::unique_ptr<serve::DecisionEngine>
+makeDecisionEngineByName(const std::string &name)
+{
+    return std::make_unique<serve::DecisionEngine>(
+        makePolicyByName(name));
 }
 
 ScopedPolicyRegistration::ScopedPolicyRegistration(std::string name,

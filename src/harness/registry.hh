@@ -28,6 +28,11 @@
 
 #include "sim/policy.hh"
 
+namespace iceb::serve
+{
+class DecisionEngine;
+} // namespace iceb::serve
+
 namespace iceb::harness
 {
 
@@ -72,6 +77,17 @@ class PolicyRegistry
 
 /** Shorthand for PolicyRegistry::instance().make(name). */
 std::unique_ptr<sim::Policy> makePolicyByName(const std::string &name);
+
+/**
+ * Instantiate a fresh scheme by name and wrap it in a serving-mode
+ * DecisionEngine. The engine is itself a Policy, so the result can be
+ * handed to a Simulator, registered as a scheme of its own (the
+ * engine-wrapped runner-grid idiom), or driven standalone through the
+ * serving façade. fatal()s on unknown names and on offline schemes
+ * ("oracle"), which cannot cross the serving boundary.
+ */
+std::unique_ptr<serve::DecisionEngine>
+makeDecisionEngineByName(const std::string &name);
 
 /**
  * RAII registration: adds a scheme on construction, removes it on

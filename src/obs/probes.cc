@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <ostream>
+#include <utility>
 
 namespace iceb::obs
 {
@@ -32,91 +33,116 @@ void formatValue(char *buf, std::size_t n, double v)
     }
 }
 
-class CsvWriter
+void clusterRow(std::ostream &out, const std::string &run,
+                std::uint32_t interval, TimeMs time, const char *series,
+                const char *tier, std::int64_t value)
 {
-  public:
-    explicit CsvWriter(std::ostream &out) : out_(out)
-    {
-        out_ << "run,interval,time_ms,series,tier,fn,value\n";
-    }
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  ",%u,%" PRId64 ",%s,%s,,%" PRId64 "\n", interval,
+                  time, series, tier, value);
+    out << run << buf;
+}
 
-    void clusterRow(const std::string &run, std::uint32_t interval,
-                    TimeMs time, const char *series, const char *tier,
-                    std::int64_t value)
-    {
-        char buf[160];
-        std::snprintf(buf, sizeof(buf),
-                      ",%u,%" PRId64 ",%s,%s,,%" PRId64 "\n", interval,
-                      time, series, tier, value);
-        out_ << run << buf;
-    }
+void clusterRowF(std::ostream &out, const std::string &run,
+                 std::uint32_t interval, TimeMs time, const char *series,
+                 const char *tier, double value)
+{
+    char val[64];
+    formatValue(val, sizeof(val), value);
+    char buf[200];
+    std::snprintf(buf, sizeof(buf), ",%u,%" PRId64 ",%s,%s,,%s\n",
+                  interval, time, series, tier, val);
+    out << run << buf;
+}
 
-    void clusterRowF(const std::string &run, std::uint32_t interval,
-                     TimeMs time, const char *series, const char *tier,
-                     double value)
-    {
-        char val[64];
-        formatValue(val, sizeof(val), value);
-        char buf[200];
-        std::snprintf(buf, sizeof(buf), ",%u,%" PRId64 ",%s,%s,,%s\n",
-                      interval, time, series, tier, val);
-        out_ << run << buf;
-    }
-
-    void forecastRow(const std::string &run, std::uint32_t interval,
-                     const char *series, FunctionId fn, double value)
-    {
-        char val[64];
-        formatValue(val, sizeof(val), value);
-        char buf[200];
-        std::snprintf(buf, sizeof(buf), ",%u,,%s,,%u,%s\n", interval,
-                      series, static_cast<unsigned>(fn), val);
-        out_ << run << buf;
-    }
-
-  private:
-    std::ostream &out_;
-};
+void forecastRow(std::ostream &out, const std::string &run,
+                 std::uint32_t interval, const char *series,
+                 FunctionId fn, double value)
+{
+    char val[64];
+    formatValue(val, sizeof(val), value);
+    char buf[200];
+    std::snprintf(buf, sizeof(buf), ",%u,,%s,,%u,%s\n", interval,
+                  series, static_cast<unsigned>(fn), val);
+    out << run << buf;
+}
 
 } // namespace
 
+ProbeCsvWriter::ProbeCsvWriter(std::ostream &out) : out_(out)
+{
+    out_ << "run,interval,time_ms,series,tier,fn,value\n";
+}
+
+void
+ProbeCsvWriter::writeIntervalSample(const std::string &run,
+                                    const IntervalSample &s)
+{
+    for (std::size_t ti = 0; ti < kNumTiers; ++ti) {
+        const char *tier = tierName(static_cast<Tier>(ti));
+        clusterRow(out_, run, s.interval, s.time, "idle_warm", tier,
+                   s.idle_warm[ti]);
+        clusterRow(out_, run, s.interval, s.time, "in_setup", tier,
+                   s.in_setup[ti]);
+        clusterRow(out_, run, s.interval, s.time, "used_mb", tier,
+                   s.used_mb[ti]);
+        clusterRow(out_, run, s.interval, s.time, "total_mb", tier,
+                   s.total_mb[ti]);
+        clusterRowF(out_, run, s.interval, s.time, "keep_alive_cost",
+                    tier, s.keep_alive_cost[ti]);
+    }
+    clusterRow(out_, run, s.interval, s.time, "wait_queue", "",
+               s.wait_queue);
+}
+
+void
+ProbeCsvWriter::writeForecastSample(const std::string &run,
+                                    const ForecastSample &s)
+{
+    forecastRow(out_, run, s.interval, "forecast_predicted", s.fn,
+                s.predicted);
+    forecastRow(out_, run, s.interval, "forecast_actual", s.fn,
+                s.actual);
+    forecastRow(out_, run, s.interval, "forecast_window_mae", s.fn,
+                s.window_mae);
+}
+
 void writeProbeCsv(std::ostream &out, const std::vector<ProbeRun> &runs)
 {
-    CsvWriter w(out);
+    ProbeCsvWriter w(out);
     for (const ProbeRun &run : runs) {
         if (run.probes == nullptr) {
             continue;
         }
         const ProbeTable &t = *run.probes;
         for (std::size_t i = 0; i < t.intervalSampleCount(); ++i) {
-            const IntervalSample &s = t.intervalSample(i);
-            for (std::size_t ti = 0; ti < kNumTiers; ++ti) {
-                const char *tier =
-                    tierName(static_cast<Tier>(ti));
-                w.clusterRow(run.run, s.interval, s.time, "idle_warm",
-                             tier, s.idle_warm[ti]);
-                w.clusterRow(run.run, s.interval, s.time, "in_setup",
-                             tier, s.in_setup[ti]);
-                w.clusterRow(run.run, s.interval, s.time, "used_mb",
-                             tier, s.used_mb[ti]);
-                w.clusterRow(run.run, s.interval, s.time, "total_mb",
-                             tier, s.total_mb[ti]);
-                w.clusterRowF(run.run, s.interval, s.time,
-                              "keep_alive_cost", tier,
-                              s.keep_alive_cost[ti]);
-            }
-            w.clusterRow(run.run, s.interval, s.time, "wait_queue", "",
-                         s.wait_queue);
+            w.writeIntervalSample(run.run, t.intervalSample(i));
         }
         for (std::size_t i = 0; i < t.forecastSampleCount(); ++i) {
-            const ForecastSample &s = t.forecastSample(i);
-            w.forecastRow(run.run, s.interval, "forecast_predicted",
-                          s.fn, s.predicted);
-            w.forecastRow(run.run, s.interval, "forecast_actual", s.fn,
-                          s.actual);
-            w.forecastRow(run.run, s.interval, "forecast_window_mae",
-                          s.fn, s.window_mae);
+            w.writeForecastSample(run.run, t.forecastSample(i));
         }
+    }
+}
+
+ProbeCsvStreamer::ProbeCsvStreamer(std::ostream &out, std::string run,
+                                   const ProbeTable &table)
+    : writer_(out), run_(std::move(run)), table_(&table)
+{
+}
+
+void
+ProbeCsvStreamer::flush()
+{
+    while (next_interval_ < table_->intervalSampleCount()) {
+        writer_.writeIntervalSample(
+            run_, table_->intervalSample(next_interval_));
+        ++next_interval_;
+    }
+    while (next_forecast_ < table_->forecastSampleCount()) {
+        writer_.writeForecastSample(
+            run_, table_->forecastSample(next_forecast_));
+        ++next_forecast_;
     }
 }
 

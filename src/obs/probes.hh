@@ -108,6 +108,58 @@ struct ProbeRun
  */
 void writeProbeCsv(std::ostream &out, const std::vector<ProbeRun> &runs);
 
+/**
+ * Low-level tidy-CSV row emitter shared by the batch exporter
+ * (writeProbeCsv) and the live streamer. Writes the header on
+ * construction; sample-to-rows expansion and value formatting are
+ * identical in both paths, so batch output is unaffected by having a
+ * streaming consumer.
+ */
+class ProbeCsvWriter
+{
+  public:
+    explicit ProbeCsvWriter(std::ostream &out);
+
+    /** Emit every row of one cluster-state sample. */
+    void writeIntervalSample(const std::string &run,
+                             const IntervalSample &s);
+
+    /** Emit every row of one forecast-vs-actual sample. */
+    void writeForecastSample(const std::string &run,
+                             const ForecastSample &s);
+
+  private:
+    std::ostream &out_;
+};
+
+/**
+ * Incremental probe export for a live (serving-mode) run: cursors over
+ * a growing ProbeTable and appends only the not-yet-written samples on
+ * each flush(), so a consumer tailing the stream sees an interval's
+ * rows as soon as the driver closes it. Row ORDER differs from the
+ * batch file — flush interleaves interval and forecast rows by arrival
+ * instead of writeProbeCsv's all-interval-then-all-forecast layout —
+ * but the row SET for a completed run is identical (tidy CSV carries
+ * no meaning in row order).
+ */
+class ProbeCsvStreamer
+{
+  public:
+    /** @p table is borrowed and must outlive the streamer. */
+    ProbeCsvStreamer(std::ostream &out, std::string run,
+                     const ProbeTable &table);
+
+    /** Append all samples added since the previous flush. */
+    void flush();
+
+  private:
+    ProbeCsvWriter writer_;
+    std::string run_;
+    const ProbeTable *table_;
+    std::size_t next_interval_ = 0;
+    std::size_t next_forecast_ = 0;
+};
+
 } // namespace iceb::obs
 
 #endif // ICEB_OBS_PROBES_HH

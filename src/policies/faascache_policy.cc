@@ -16,7 +16,7 @@ void
 FaasCachePolicy::initialize(const sim::SimContext &ctx)
 {
     Policy::initialize(ctx);
-    frequency_.assign(ctx.trace->numFunctions(), 0);
+    frequency_.assign(ctx.num_functions, 0);
     clock_ = 0.0;
 }
 

@@ -9,12 +9,12 @@ namespace iceb::policies
 {
 
 void
-OraclePolicy::initialize(const sim::SimContext &ctx)
+OraclePolicy::initializeOracle(const sim::OracleContext &oracle)
 {
-    Policy::initialize(ctx);
-    ICEB_ASSERT(ctx.arrival_schedule != nullptr,
+    OfflinePolicy::initializeOracle(oracle);
+    ICEB_ASSERT(oracle.arrival_schedule != nullptr,
                 "oracle needs the arrival schedule");
-    cursor_.assign(ctx.arrival_schedule->size(), 0);
+    cursor_.assign(oracle.arrival_schedule->size(), 0);
 }
 
 void
@@ -30,7 +30,7 @@ OraclePolicy::onIntervalStart(IntervalIndex interval,
     const TimeMs now = cluster.now();
 
     for (FunctionId fn = 0; fn < cursor_.size(); ++fn) {
-        const auto &schedule = (*ctx_->arrival_schedule)[fn];
+        const auto &schedule = (*oracle_->arrival_schedule)[fn];
         const workload::FunctionProfile &profile =
             (*ctx_->profiles)[fn];
         // Oracle executes on the fastest tier; setup falls back to

@@ -2,12 +2,14 @@
  * @file
  * Oracle warm-up policy: the paper's offline upper bound.
  *
- * Knows every future invocation exactly (it reads the simulator's
- * arrival schedule) and warms each instance just-in-time so setup
- * completes precisely at the arrival. Containers are torn down
- * immediately after execution, so keep-alive cost is (essentially)
- * zero and every invocation is a warm start whenever memory allows.
- * Not implementable online; it bounds the achievable service time.
+ * Knows every future invocation exactly (it reads the driver's
+ * arrival schedule through the privileged OracleContext; it is the
+ * one policy deriving from sim::OfflinePolicy) and warms each
+ * instance just-in-time so setup completes precisely at the arrival.
+ * Containers are torn down immediately after execution, so keep-alive
+ * cost is (essentially) zero and every invocation is a warm start
+ * whenever memory allows. Not implementable online; it bounds the
+ * achievable service time.
  */
 
 #ifndef ICEB_POLICIES_ORACLE_POLICY_HH
@@ -15,7 +17,7 @@
 
 #include <vector>
 
-#include "sim/policy.hh"
+#include "sim/oracle.hh"
 
 namespace iceb::policies
 {
@@ -23,14 +25,14 @@ namespace iceb::policies
 /**
  * Just-in-time, future-knowledge policy.
  */
-class OraclePolicy : public sim::Policy
+class OraclePolicy : public sim::OfflinePolicy
 {
   public:
     OraclePolicy() = default;
 
     const char *name() const override { return "oracle"; }
 
-    void initialize(const sim::SimContext &ctx) override;
+    void initializeOracle(const sim::OracleContext &oracle) override;
     void onIntervalStart(IntervalIndex interval,
                          sim::WarmupInterface &cluster) override;
 

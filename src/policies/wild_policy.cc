@@ -19,9 +19,26 @@ WildPolicy::initialize(const sim::SimContext &ctx)
 {
     Policy::initialize(ctx);
     functions_.clear();
-    functions_.reserve(ctx.trace->numFunctions());
-    for (std::size_t i = 0; i < ctx.trace->numFunctions(); ++i)
+    functions_.reserve(ctx.num_functions);
+    for (std::size_t i = 0; i < ctx.num_functions; ++i)
         functions_.emplace_back(config_.histogram);
+}
+
+void
+WildPolicy::onIntervalObserved(const sim::IntervalObservation &closed)
+{
+    // Digest the interval that just finished into each function's
+    // idle-time histogram (the policy's own history state).
+    for (FunctionId fn = 0; fn < functions_.size(); ++fn) {
+        const std::uint32_t observed = closed.arrivalsFor(fn);
+        if (observed == 0)
+            continue;
+        FunctionState &state = functions_[fn];
+        state.histogram.observeArrival(closed.interval);
+        state.last_arrival = closed.interval;
+        state.last_concurrency = observed;
+        state.forecast = state.histogram.forecast();
+    }
 }
 
 void
@@ -34,18 +51,6 @@ WildPolicy::onIntervalStart(IntervalIndex interval,
 
     for (FunctionId fn = 0; fn < functions_.size(); ++fn) {
         FunctionState &state = functions_[fn];
-
-        // Digest the interval that just finished.
-        if (interval > 0) {
-            const std::uint32_t observed =
-                ctx_->trace->function(fn).at(interval - 1);
-            if (observed > 0) {
-                state.histogram.observeArrival(interval - 1);
-                state.last_arrival = interval - 1;
-                state.last_concurrency = observed;
-                state.forecast = state.histogram.forecast();
-            }
-        }
         if (state.last_arrival < 0 || !state.forecast.usable)
             continue;
 

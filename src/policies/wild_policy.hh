@@ -43,6 +43,8 @@ class WildPolicy : public sim::Policy
     const char *name() const override { return "wild"; }
 
     void initialize(const sim::SimContext &ctx) override;
+    void onIntervalObserved(
+        const sim::IntervalObservation &closed) override;
     void onIntervalStart(IntervalIndex interval,
                          sim::WarmupInterface &cluster) override;
     TimeMs keepAliveAfterExecutionMs(FunctionId fn, Tier tier,

@@ -1,0 +1,125 @@
+#include "serve/drivers.hh"
+
+#include <chrono>
+#include <optional>
+#include <ostream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/recorder.hh"
+
+namespace iceb::serve
+{
+
+SimDriver::SimDriver(
+    const trace::Trace &tr,
+    const std::vector<workload::FunctionProfile> &profiles,
+    const sim::ClusterConfig &cluster, DecisionEngine &engine,
+    sim::SimulatorOptions options)
+    : trace_(tr), profiles_(profiles), cluster_(cluster),
+      engine_(engine), options_(options)
+{
+}
+
+sim::SimulationMetrics
+SimDriver::run()
+{
+    sim::Simulator simulator(trace_, profiles_, cluster_, engine_,
+                             options_);
+    return simulator.run();
+}
+
+ReplayDriver::ReplayDriver(
+    const trace::Trace &tr,
+    const std::vector<workload::FunctionProfile> &profiles,
+    const sim::ClusterConfig &cluster, DecisionEngine &engine,
+    ReplayOptions options)
+    : trace_(tr), profiles_(profiles), cluster_(cluster),
+      engine_(engine), options_(std::move(options))
+{
+}
+
+sim::SimulationMetrics
+ReplayDriver::run()
+{
+    // Stand up this run's observability sinks when the caller asked
+    // for live export but supplied no recorder of their own.
+    obs::ObsConfig obs_config;
+    obs_config.trace = options_.chrome_trace != nullptr;
+    obs_config.probes = options_.probe_csv != nullptr ||
+        options_.chrome_trace != nullptr;
+    std::optional<obs::RunRecorder> own_recorder;
+    sim::SimulatorOptions sim_options = options_.sim;
+    if (sim_options.recorder == nullptr && obs_config.any()) {
+        own_recorder.emplace(obs_config);
+        sim_options.recorder = &*own_recorder;
+    }
+
+    sim::Simulator simulator(trace_, profiles_, cluster_, engine_,
+                             sim_options);
+    simulator.start();
+
+    std::optional<obs::ProbeCsvStreamer> streamer;
+    if (options_.probe_csv != nullptr &&
+        sim_options.recorder != nullptr &&
+        sim_options.recorder->probeTable() != nullptr) {
+        streamer.emplace(*options_.probe_csv, options_.run_label,
+                         *sim_options.recorder->probeTable());
+    }
+
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point wall_start = Clock::now();
+    const bool paced = options_.acceleration > 0.0;
+
+    std::size_t intervals_seen = 0;
+    bool more = true;
+    while (more) {
+        if (paced) {
+            if (const std::optional<TimeMs> next =
+                    simulator.nextEventTime()) {
+                const auto offset =
+                    std::chrono::duration<double, std::milli>(
+                        static_cast<double>(*next) /
+                        options_.acceleration);
+                std::this_thread::sleep_until(
+                    wall_start +
+                    std::chrono::duration_cast<Clock::duration>(
+                        offset));
+            }
+        }
+        more = simulator.step();
+
+        // An interval boundary was processed: stream its probes and
+        // report progress before touching the next unit of work.
+        while (intervals_seen < simulator.intervalsStarted()) {
+            if (streamer)
+                streamer->flush();
+            if (options_.on_interval) {
+                ReplayProgress progress;
+                progress.interval =
+                    static_cast<IntervalIndex>(intervals_seen);
+                progress.sim_time_ms = simulator.now();
+                progress.decisions = engine_.decisionCount();
+                options_.on_interval(progress);
+            }
+            ++intervals_seen;
+        }
+    }
+
+    sim::SimulationMetrics metrics = simulator.finish();
+    if (streamer)
+        streamer->flush();
+
+    if (options_.chrome_trace != nullptr &&
+        sim_options.recorder != nullptr) {
+        std::vector<obs::TraceRun> runs(1);
+        runs[0].name = options_.run_label;
+        runs[0].trace = sim_options.recorder->traceSinkIfEnabled();
+        runs[0].probes = sim_options.recorder->probeTableIfEnabled();
+        obs::writeChromeTrace(*options_.chrome_trace, runs);
+    }
+    return metrics;
+}
+
+} // namespace iceb::serve

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The privileged offline observation channel.
+ *
+ * Online policies see arrivals only through the streaming feed in
+ * sim/policy.hh. Offline upper bounds (the paper's Oracle) need the
+ * exact future: the full trace and the jittered per-invocation
+ * arrival schedule. That access is a separate, explicit contract — a
+ * policy must derive from OfflinePolicy to receive an OracleContext,
+ * and drivers only grant it to policies of that type. What used to be
+ * a comment ("online policies must not read the schedule") is now a
+ * compile-time property: the types simply do not reach Policy.
+ */
+
+#ifndef ICEB_SIM_ORACLE_HH
+#define ICEB_SIM_ORACLE_HH
+
+#include <vector>
+
+#include "sim/policy.hh"
+#include "trace/trace.hh"
+
+namespace iceb::sim
+{
+
+/**
+ * Full-future knowledge handed only to OfflinePolicy implementations.
+ */
+struct OracleContext
+{
+    /** The complete invocation trace, including future intervals. */
+    const trace::Trace *trace = nullptr;
+
+    /**
+     * Exact jittered arrival timestamps per function (sorted); the
+     * very timestamps the driver will replay.
+     */
+    const std::vector<std::vector<TimeMs>> *arrival_schedule = nullptr;
+};
+
+/**
+ * A policy that is explicitly offline: it sees the future and
+ * therefore only bounds what online schemes could achieve. Drivers
+ * call initializeOracle (after initialize) exclusively for policies
+ * derived from this class.
+ */
+class OfflinePolicy : public Policy
+{
+  public:
+    /** Receive the privileged view. Default stores it. */
+    virtual void initializeOracle(const OracleContext &oracle)
+    {
+        oracle_ = &oracle;
+    }
+
+  protected:
+    const OracleContext *oracle_ = nullptr;
+};
+
+} // namespace iceb::sim
+
+#endif // ICEB_SIM_ORACLE_HH

@@ -9,10 +9,14 @@
  * order under memory pressure. IceBreaker, OpenWhisk, Serverless in
  * the Wild, FaasCache and the Oracle all implement this interface.
  *
- * Observation convention: policies may read the trace strictly below
- * the current interval (that is exactly the information a real
- * controller has observed); only OraclePolicy may read at or beyond
- * it, and it is explicitly an offline upper bound.
+ * Observation contract: an online policy sees the workload only
+ * through the streaming feed — the driver pushes each closed
+ * interval's per-function arrival counts (onIntervalObserved) and
+ * individual execution outcomes (onExecutionStart) as they happen.
+ * This header deliberately knows nothing about trace::Trace, so a
+ * policy written against it has no compile-time path to future
+ * arrivals; the offline Oracle's privileged full-trace view lives in
+ * the separate sim/oracle.hh and must be opted into explicitly.
  */
 
 #ifndef ICEB_SIM_POLICY_HH
@@ -23,7 +27,6 @@
 
 #include "common/types.hh"
 #include "sim/cluster_config.hh"
-#include "trace/trace.hh"
 #include "workload/function_profile.hh"
 
 namespace iceb::obs
@@ -35,20 +38,19 @@ namespace iceb::sim
 {
 
 /**
- * Everything a policy may know at initialisation time.
+ * Everything an online policy may know at initialisation time. Note
+ * the absence of any trace handle: arrivals reach the policy only
+ * through the streaming observation feed, exactly the information a
+ * real controller has at each point in time.
  */
 struct SimContext
 {
-    const trace::Trace *trace = nullptr;
+    /** Number of functions the driver will ever observe. */
+    std::size_t num_functions = 0;
+
     const std::vector<workload::FunctionProfile> *profiles = nullptr;
     const ClusterConfig *cluster = nullptr;
     TimeMs interval_ms = 0;
-
-    /**
-     * Exact arrival timestamps per function (sorted). Reserved for
-     * OraclePolicy; online policies must not read it.
-     */
-    const std::vector<std::vector<TimeMs>> *arrival_schedule = nullptr;
 
     /**
      * This run's observability sinks, or null when observation is off.
@@ -56,6 +58,28 @@ struct SimContext
      * decision on it (observation never changes results).
      */
     obs::RunRecorder *recorder = nullptr;
+};
+
+/**
+ * One closed decision interval's arrival observations, pushed by the
+ * driver at the following interval boundary. The span is borrowed and
+ * only valid for the duration of the onIntervalObserved call; policies
+ * fold it into their own history state (predictor windows, histograms,
+ * frequency counters) rather than retaining the pointer.
+ */
+struct IntervalObservation
+{
+    /** Index of the interval that just closed. */
+    IntervalIndex interval = 0;
+
+    /** Per-function arrival counts for that interval. */
+    const std::uint32_t *arrivals = nullptr;
+    std::size_t num_functions = 0;
+
+    std::uint32_t arrivalsFor(FunctionId fn) const
+    {
+        return arrivals[fn];
+    }
 };
 
 class Policy;
@@ -123,6 +147,17 @@ class Policy
 
     /** Called once before the run. Default stores the context. */
     virtual void initialize(const SimContext &ctx) { ctx_ = &ctx; }
+
+    /**
+     * A decision interval closed: the driver pushes its per-function
+     * arrival counts. Called before onIntervalStart of the following
+     * interval; deliberately has no cluster access (observation hooks
+     * cannot act, decision hooks cannot peek).
+     */
+    virtual void onIntervalObserved(const IntervalObservation &closed)
+    {
+        (void)closed;
+    }
 
     /**
      * Called at every decision-interval boundary, before that

@@ -42,12 +42,18 @@ Simulator::Simulator(
                     options_.hints.events_per_bucket);
     wait_queue_.reserve(options_.hints.wait_queue);
 
-    context_.trace = &trace_;
+    context_.num_functions = trace_.numFunctions();
     context_.profiles = &profiles_;
     context_.cluster = &config_;
     context_.interval_ms = trace_.intervalMs();
-    context_.arrival_schedule = &arrival_schedule_;
     context_.recorder = options_.recorder;
+
+    // The privileged view exists only here; start() grants it solely
+    // to OfflinePolicy schemes.
+    oracle_context_.trace = &trace_;
+    oracle_context_.arrival_schedule = &arrival_schedule_;
+
+    observed_counts_.assign(trace_.numFunctions(), 0);
 
     if (options_.recorder != nullptr) {
         tsink_ = options_.recorder->traceSink();
@@ -184,10 +190,17 @@ Simulator::openArrivalWindow(IntervalIndex interval)
         static_cast<std::uint64_t>(stream_end_ - stream_pos_));
 }
 
-SimulationMetrics
-Simulator::run()
+void
+Simulator::start()
 {
+    ICEB_ASSERT(!started_, "Simulator::start() called twice");
+    started_ = true;
+
     policy_.initialize(context_);
+    // Only explicitly-offline policies receive the privileged
+    // full-trace view; everyone else has no path to it.
+    if (auto *offline = dynamic_cast<OfflinePolicy *>(&policy_))
+        offline->initializeOracle(oracle_context_);
 
     // Interval ticks are scheduled up front so, at equal timestamps,
     // they process before that interval's arrivals (lower sequence
@@ -199,73 +212,118 @@ Simulator::run()
         tick.interval = static_cast<IntervalIndex>(iv);
         events_.push(tick);
     }
+}
 
-    EventLoopStats &stats = metrics_.eventLoop();
-    while (true) {
-        // Merge the open arrival window against the heap by
-        // (time, seq); strict ordering because all keys are unique.
-        if (stream_pos_ < stream_end_) {
-            const StreamedArrival &arrival = arrival_stream_[stream_pos_];
-            const std::uint64_t arrival_seq =
-                stream_seq_base_ + arrival.rank;
-            const auto key = events_.peekKey();
-            if (!key || arrival.time < key->time ||
-                (arrival.time == key->time && arrival_seq < key->seq)) {
-                ++stream_pos_;
-                now_ = arrival.time;
-                cluster_.setNow(now_);
-                ++stats.popped[static_cast<std::size_t>(
-                    EventType::InvocationArrival)];
-                handleArrival(arrival.fn, arrival.time);
-                continue;
-            }
-        }
-        auto event = events_.pop();
-        if (!event)
-            break;
-        cluster_.prefetchContainer(events_.peekContainer());
-        now_ = event->time;
-        cluster_.setNow(now_);
-        ++stats.popped[static_cast<std::size_t>(event->type)];
-        switch (event->type) {
-          case EventType::IntervalTick:
-            ICEB_TRACE(tsink_, obs::TraceKind::IntervalStart, now_,
-                       kInvalidFunction, Tier::HighEnd,
-                       obs::ColdCause::None,
-                       static_cast<std::uint64_t>(event->interval));
-            // Sample BEFORE the policy acts: the probe row shows the
-            // state the decision saw, not the one it produced.
-            if (probes_ != nullptr)
-                sampleIntervalProbes(event->interval);
-            policy_.onIntervalStart(event->interval, cluster_);
-            openArrivalWindow(event->interval);
-            break;
-          case EventType::InvocationArrival:
-            handleArrival(event->fn, event->time);
-            break;
-          case EventType::PrewarmStart:
-            cluster_.handlePrewarmStart(*event, policy_);
-            break;
-          case EventType::PrewarmReady:
-            cluster_.handlePrewarmReady(*event, policy_);
-            drainQueue();
-            break;
-          case EventType::ExecutionComplete: {
-            const Container &c = cluster_.container(event->container);
-            const TimeMs keep_alive = policy_.keepAliveAfterExecutionMs(
-                c.fn, c.tier, now_);
-            cluster_.finishExecution(event->container, keep_alive,
-                                     policy_);
-            drainQueue();
-            break;
-          }
-          case EventType::ContainerExpiry:
-            cluster_.handleContainerExpiry(*event, policy_);
-            drainQueue();
-            break;
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((always_inline)) inline
+#endif
+bool
+Simulator::stepImpl(EventLoopStats &stats)
+{
+    // Merge the open arrival window against the heap by
+    // (time, seq); strict ordering because all keys are unique.
+    if (stream_pos_ < stream_end_) {
+        const StreamedArrival &arrival = arrival_stream_[stream_pos_];
+        const std::uint64_t arrival_seq =
+            stream_seq_base_ + arrival.rank;
+        const auto key = events_.peekKey();
+        if (!key || arrival.time < key->time ||
+            (arrival.time == key->time && arrival_seq < key->seq)) {
+            ++stream_pos_;
+            now_ = arrival.time;
+            cluster_.setNow(now_);
+            ++stats.popped[static_cast<std::size_t>(
+                EventType::InvocationArrival)];
+            handleArrival(arrival.fn, arrival.time);
+            return true;
         }
     }
+    auto event = events_.pop();
+    if (!event)
+        return false;
+    cluster_.prefetchContainer(events_.peekContainer());
+    now_ = event->time;
+    cluster_.setNow(now_);
+    ++stats.popped[static_cast<std::size_t>(event->type)];
+    switch (event->type) {
+      case EventType::IntervalTick:
+        ICEB_TRACE(tsink_, obs::TraceKind::IntervalStart, now_,
+                   kInvalidFunction, Tier::HighEnd,
+                   obs::ColdCause::None,
+                   static_cast<std::uint64_t>(event->interval));
+        // Sample BEFORE the policy acts: the probe row shows the
+        // state the decision saw, not the one it produced.
+        if (probes_ != nullptr)
+            sampleIntervalProbes(event->interval);
+        // Push the closed interval's observations, then let the
+        // policy decide. The counts come from the arrivals actually
+        // streamed, not from the trace: the policy layer is fed
+        // exactly what a live ingest API would have delivered.
+        if (event->interval > 0) {
+            IntervalObservation closed;
+            closed.interval = event->interval - 1;
+            closed.arrivals = observed_counts_.data();
+            closed.num_functions = observed_counts_.size();
+            policy_.onIntervalObserved(closed);
+            std::fill(observed_counts_.begin(),
+                      observed_counts_.end(), 0u);
+        }
+        policy_.onIntervalStart(event->interval, cluster_);
+        openArrivalWindow(event->interval);
+        ++intervals_started_;
+        break;
+      case EventType::InvocationArrival:
+        handleArrival(event->fn, event->time);
+        break;
+      case EventType::PrewarmStart:
+        cluster_.handlePrewarmStart(*event, policy_);
+        break;
+      case EventType::PrewarmReady:
+        cluster_.handlePrewarmReady(*event, policy_);
+        drainQueue();
+        break;
+      case EventType::ExecutionComplete: {
+        const Container &c = cluster_.container(event->container);
+        const TimeMs keep_alive = policy_.keepAliveAfterExecutionMs(
+            c.fn, c.tier, now_);
+        cluster_.finishExecution(event->container, keep_alive,
+                                 policy_);
+        drainQueue();
+        break;
+      }
+      case EventType::ContainerExpiry:
+        cluster_.handleContainerExpiry(*event, policy_);
+        drainQueue();
+        break;
+    }
+    return true;
+}
 
+bool
+Simulator::step()
+{
+    return stepImpl(metrics_.eventLoop());
+}
+
+std::optional<TimeMs>
+Simulator::nextEventTime()
+{
+    const auto key = events_.peekKey();
+    if (stream_pos_ < stream_end_) {
+        const TimeMs arrival_time = arrival_stream_[stream_pos_].time;
+        if (!key || arrival_time < key->time)
+            return arrival_time;
+        return key->time;
+    }
+    if (!key)
+        return std::nullopt;
+    return key->time;
+}
+
+SimulationMetrics
+Simulator::finish()
+{
+    EventLoopStats &stats = metrics_.eventLoop();
     if (events_.peakSize() > stats.peak_pending_events)
         stats.peak_pending_events = events_.peakSize();
     if (events_.peakBucket() > stats.peak_bucket_events)
@@ -276,6 +334,16 @@ Simulator::run()
              " invocations still queued (cluster too small for trace)");
     }
     return metrics_.take();
+}
+
+SimulationMetrics
+Simulator::run()
+{
+    start();
+    EventLoopStats &stats = metrics_.eventLoop();
+    while (stepImpl(stats)) {
+    }
+    return finish();
 }
 
 void
@@ -316,6 +384,7 @@ Simulator::handleArrival(FunctionId fn, TimeMs arrival)
 {
     ICEB_TRACE(tsink_, obs::TraceKind::Arrival, arrival, fn,
                Tier::HighEnd, obs::ColdCause::None, 0);
+    ++observed_counts_[fn];
     if (waitCount() > 0) {
         // Preserve FIFO order behind already-waiting invocations.
         pushWaiting(fn, arrival);

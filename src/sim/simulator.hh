@@ -22,11 +22,13 @@
 #define ICEB_SIM_SIMULATOR_HH
 
 #include <memory>
+#include <optional>
 
 #include "obs/trace_sink.hh"
 #include "sim/cluster.hh"
 #include "sim/event_queue.hh"
 #include "sim/metrics.hh"
+#include "sim/oracle.hh"
 #include "sim/policy.hh"
 #include "trace/trace.hh"
 #include "workload/function_profile.hh"
@@ -92,6 +94,43 @@ class Simulator
     /** Execute the whole trace and return the collected metrics. */
     SimulationMetrics run();
 
+    // ----------------------------------------------------------------
+    // Incremental stepping API: the serving-mode drivers advance the
+    // same event loop run() uses, one unit at a time, so a paced
+    // (wall-clock) replay processes the identical sequence and
+    // produces byte-identical metrics.
+    // ----------------------------------------------------------------
+
+    /**
+     * Initialise the policy (and, for OfflinePolicy schemes, grant
+     * the OracleContext) and schedule the interval ticks. Idempotent
+     * preamble of run(); must be called before step().
+     */
+    void start();
+
+    /**
+     * Process the next unit of work (one event pop or one streamed
+     * arrival). Returns false when the run is exhausted.
+     */
+    bool step();
+
+    /**
+     * Simulated time of the next unit step() would process, or
+     * nullopt when the run is exhausted. Lets a paced driver sleep
+     * until the wall-clock deadline of the next event. (Non-const:
+     * peeking the calendar queue may advance its lazy drain.)
+     */
+    std::optional<TimeMs> nextEventTime();
+
+    /** Final bookkeeping; returns the collected metrics. */
+    SimulationMetrics finish();
+
+    /** Interval ticks processed so far (streaming progress signal). */
+    std::size_t intervalsStarted() const { return intervals_started_; }
+
+    /** Current simulated time. */
+    TimeMs now() const { return now_; }
+
   private:
     struct QueuedInvocation
     {
@@ -113,6 +152,14 @@ class Simulator
     };
 
     void buildArrivalSchedule();
+    /**
+     * Body shared by run()'s hot loop and the public step(): kept as
+     * a separate force-inlined helper so the batch loop keeps its
+     * pre-stepping-API code shape (stats hoisted, no per-event call
+     * overhead) while the incremental API executes the identical
+     * logic one unit at a time.
+     */
+    bool stepImpl(EventLoopStats &stats);
     void openArrivalWindow(IntervalIndex interval);
     void handleArrival(FunctionId fn, TimeMs arrival);
     bool tryPlace(FunctionId fn, TimeMs arrival);
@@ -139,6 +186,7 @@ class Simulator
     MetricsCollector metrics_;
     ClusterState cluster_;
     SimContext context_;
+    OracleContext oracle_context_; //!< granted to OfflinePolicy only
 
     /** Resolved observability sinks (null when observation is off). */
     obs::TraceSink *tsink_ = nullptr;
@@ -162,6 +210,17 @@ class Simulator
     /** FIFO wait queue as a reusable ring over a vector. */
     std::vector<QueuedInvocation> wait_queue_;
     std::size_t wait_head_ = 0;
+
+    /**
+     * Arrivals observed (streamed through handleArrival) during the
+     * open interval; pushed to the policy as an IntervalObservation at
+     * the next boundary, then reset. This — not the trace — is what
+     * online policies see.
+     */
+    std::vector<std::uint32_t> observed_counts_;
+
+    std::size_t intervals_started_ = 0;
+    bool started_ = false;
 
     TimeMs now_ = 0;
 };

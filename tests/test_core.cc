@@ -292,7 +292,7 @@ TEST(IceBreakerTest, KeepAliveExtensionsFollowPredictedGap)
 
     core::IceBreakerPolicy policy;
     sim::SimContext ctx;
-    ctx.trace = &tr;
+    ctx.num_functions = tr.numFunctions();
     ctx.profiles = &profiles;
     ctx.cluster = &cluster;
     ctx.interval_ms = 60'000;

@@ -82,7 +82,7 @@ TEST(FaasCachePolicyTest, PriorityUsesFrequencyCostAndSize)
 
     FaasCachePolicy policy;
     sim::SimContext ctx;
-    ctx.trace = &tr;
+    ctx.num_functions = tr.numFunctions();
     ctx.profiles = &profiles;
     ctx.cluster = &cluster;
     ctx.interval_ms = 60'000;

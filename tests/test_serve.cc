@@ -1,0 +1,485 @@
+/**
+ * @file
+ * The serving boundary: DecisionEngine transparency (batch ==
+ * SimDriver == ReplayDriver, bit for bit), the standalone façade
+ * running online schemes with no trace in sight, the oracle being
+ * rejected at the boundary, streamed probe export, and engine-wrapped
+ * runner grids staying deterministic across thread counts.
+ */
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "core/icebreaker.hh"
+#include "harness/experiment.hh"
+#include "harness/registry.hh"
+#include "harness/runner.hh"
+#include "obs/probes.hh"
+#include "obs/recorder.hh"
+#include "policies/faascache_policy.hh"
+#include "policies/openwhisk_policy.hh"
+#include "policies/oracle_policy.hh"
+#include "policies/wild_policy.hh"
+#include "serve/drivers.hh"
+
+namespace
+{
+
+using namespace iceb;
+
+// ------------------------------------------------- boundary statics
+//
+// The observation contract, checked where the compiler can see it: an
+// online policy's initialisation context carries no trace handle and
+// no arrival schedule, and only the Oracle opts into the privileged
+// OfflinePolicy base.
+
+template <typename T, typename = void>
+struct HasTraceMember : std::false_type
+{
+};
+template <typename T>
+struct HasTraceMember<T, std::void_t<decltype(std::declval<T>().trace)>>
+    : std::true_type
+{
+};
+
+template <typename T, typename = void>
+struct HasScheduleMember : std::false_type
+{
+};
+template <typename T>
+struct HasScheduleMember<
+    T, std::void_t<decltype(std::declval<T>().arrival_schedule)>>
+    : std::true_type
+{
+};
+
+static_assert(!HasTraceMember<sim::SimContext>::value,
+              "SimContext must not expose the trace to policies");
+static_assert(!HasScheduleMember<sim::SimContext>::value,
+              "SimContext must not expose the arrival schedule");
+static_assert(!std::is_base_of_v<sim::OfflinePolicy,
+                                 policies::OpenWhiskPolicy>,
+              "OpenWhisk is an online scheme");
+static_assert(!std::is_base_of_v<sim::OfflinePolicy, policies::WildPolicy>,
+              "Serverless-in-the-Wild is an online scheme");
+static_assert(!std::is_base_of_v<sim::OfflinePolicy,
+                                 policies::FaasCachePolicy>,
+              "FaasCache is an online scheme");
+static_assert(!std::is_base_of_v<sim::OfflinePolicy,
+                                 core::IceBreakerPolicy>,
+              "IceBreaker is an online scheme");
+static_assert(std::is_base_of_v<sim::OfflinePolicy, policies::OraclePolicy>,
+              "the Oracle is the one offline scheme");
+
+// --------------------------------------------------------- fixtures
+
+/** Deterministic bursty workload shared by the equivalence tests. */
+harness::Workload
+serveWorkload(std::size_t functions = 24, std::size_t intervals = 120)
+{
+    trace::SyntheticConfig config;
+    config.num_functions = functions;
+    config.num_intervals = intervals;
+    return harness::makeWorkload(config);
+}
+
+std::uint64_t
+fnv1a(std::uint64_t hash, std::uint64_t value)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        hash ^= (value >> (8 * byte)) & 0xff;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1aDouble(std::uint64_t hash, double value)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return fnv1a(hash, bits);
+}
+
+/** Full-fidelity metrics digest (every float's bit pattern). */
+std::uint64_t
+hashMetrics(const sim::SimulationMetrics &m)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    hash = fnv1a(hash, m.invocations);
+    hash = fnv1a(hash, m.cold_starts);
+    hash = fnv1a(hash, m.warm_starts);
+    hash = fnv1aDouble(hash, m.sum_service_ms);
+    hash = fnv1aDouble(hash, m.sum_wait_ms);
+    hash = fnv1aDouble(hash, m.sum_cold_ms);
+    for (float sample : m.service_times_ms) {
+        std::uint32_t bits = 0;
+        std::memcpy(&bits, &sample, sizeof(bits));
+        hash = fnv1a(hash, bits);
+    }
+    for (const sim::FunctionMetrics &fm : m.per_function) {
+        hash = fnv1a(hash, fm.invocations);
+        hash = fnv1a(hash, fm.cold_starts);
+        hash = fnv1aDouble(hash, fm.sum_service_ms);
+        hash = fnv1aDouble(hash, fm.keep_alive_cost);
+    }
+    for (int t = 0; t < kNumTiers; ++t) {
+        hash = fnv1aDouble(hash, m.keep_alive[t].successful_cost);
+        hash = fnv1aDouble(hash, m.keep_alive[t].wasteful_cost);
+    }
+    return hash;
+}
+
+/**
+ * Minimal cluster for the standalone façade tests: grants every
+ * warm-up, remembers what was asked.
+ */
+class GrantAllWarmup final : public sim::WarmupInterface
+{
+  public:
+    std::size_t
+    ensureWarm(FunctionId fn, Tier tier, std::size_t count,
+               TimeMs expiry) override
+    {
+        (void)fn;
+        (void)tier;
+        (void)expiry;
+        warm_calls += count;
+        return count;
+    }
+    std::size_t
+    ensureWarmEvicting(FunctionId fn, Tier tier, std::size_t count,
+                       TimeMs expiry, sim::Policy &policy) override
+    {
+        (void)policy;
+        return ensureWarm(fn, tier, count, expiry);
+    }
+    void
+    schedulePrewarm(FunctionId fn, Tier tier, TimeMs start_time,
+                    TimeMs expiry) override
+    {
+        (void)fn;
+        (void)tier;
+        (void)start_time;
+        (void)expiry;
+        ++prewarm_calls;
+    }
+    MemoryMb vacantMemoryMb(Tier tier) const override
+    {
+        (void)tier;
+        return 64 * 1024;
+    }
+    MemoryMb totalMemoryMb(Tier tier) const override
+    {
+        (void)tier;
+        return 64 * 1024;
+    }
+    std::size_t warmCount(FunctionId fn, Tier tier) const override
+    {
+        (void)fn;
+        (void)tier;
+        return 0;
+    }
+    TimeMs now() const override { return now_ms; }
+
+    TimeMs now_ms = 0;
+    std::size_t warm_calls = 0;
+    std::size_t prewarm_calls = 0;
+};
+
+// ------------------------------------------------------ equivalence
+
+TEST(ServeEquivalenceTest, EngineAndBothDriversMatchBareBatchExactly)
+{
+    const harness::Workload workload = serveWorkload();
+    const sim::ClusterConfig cluster =
+        sim::defaultHeterogeneousCluster();
+
+    for (const char *scheme :
+         {"openwhisk", "wild", "faascache", "icebreaker"}) {
+        SCOPED_TRACE(scheme);
+
+        const std::unique_ptr<sim::Policy> bare =
+            harness::makePolicyByName(scheme);
+        const std::uint64_t bare_hash = hashMetrics(sim::runSimulation(
+            workload.trace, workload.profiles, cluster, *bare));
+
+        const std::unique_ptr<serve::DecisionEngine> sim_engine =
+            harness::makeDecisionEngineByName(scheme);
+        serve::SimDriver batch(workload.trace, workload.profiles,
+                               cluster, *sim_engine);
+        EXPECT_EQ(hashMetrics(batch.run()), bare_hash);
+
+        const std::unique_ptr<serve::DecisionEngine> replay_engine =
+            harness::makeDecisionEngineByName(scheme);
+        serve::ReplayDriver replay(workload.trace, workload.profiles,
+                                   cluster, *replay_engine);
+        EXPECT_EQ(hashMetrics(replay.run()), bare_hash);
+    }
+}
+
+TEST(ServeEquivalenceTest, ReplayIsIndependentOfAcceleration)
+{
+    const harness::Workload workload = serveWorkload(8, 10);
+    const sim::ClusterConfig cluster =
+        sim::defaultHeterogeneousCluster();
+
+    const std::unique_ptr<serve::DecisionEngine> fast =
+        harness::makeDecisionEngineByName("icebreaker");
+    serve::ReplayOptions fast_options; // acceleration 0: no pacing
+    serve::ReplayDriver fast_replay(workload.trace, workload.profiles,
+                                    cluster, *fast, fast_options);
+    const std::uint64_t fast_hash = hashMetrics(fast_replay.run());
+
+    // Heavily accelerated but PACED: the wall clock participates in
+    // scheduling, and the result still must not change.
+    const std::unique_ptr<serve::DecisionEngine> paced =
+        harness::makeDecisionEngineByName("icebreaker");
+    serve::ReplayOptions paced_options;
+    paced_options.acceleration = 4.0e6; // ~0.15 wall-ms per interval
+    serve::ReplayDriver paced_replay(workload.trace, workload.profiles,
+                                     cluster, *paced, paced_options);
+    EXPECT_EQ(hashMetrics(paced_replay.run()), fast_hash);
+}
+
+// -------------------------------------------------------- streaming
+
+TEST(ServeStreamingTest, ProbeCsvStreamsIncrementallyWithSameRowSet)
+{
+    const harness::Workload workload = serveWorkload(8, 40);
+    const sim::ClusterConfig cluster =
+        sim::defaultHeterogeneousCluster();
+
+    // Batch reference: same run through runSimulation with a recorder,
+    // exported through the batch writer.
+    obs::ObsConfig obs_config;
+    obs_config.probes = true;
+    obs::RunRecorder batch_recorder(obs_config);
+    sim::SimulatorOptions batch_options;
+    batch_options.recorder = &batch_recorder;
+    const std::unique_ptr<sim::Policy> bare =
+        harness::makePolicyByName("icebreaker");
+    sim::runSimulation(workload.trace, workload.profiles, cluster,
+                       *bare, batch_options);
+    std::ostringstream batch_csv;
+    obs::writeProbeCsv(batch_csv,
+                       {{"live", batch_recorder.probeTableIfEnabled()}});
+
+    // Streamed: flushed per interval into a growing string.
+    const std::unique_ptr<serve::DecisionEngine> engine =
+        harness::makeDecisionEngineByName("icebreaker");
+    std::ostringstream streamed_csv;
+    std::vector<std::size_t> sizes_at_intervals;
+    serve::ReplayOptions options;
+    options.run_label = "live";
+    options.probe_csv = &streamed_csv;
+    options.on_interval = [&](const serve::ReplayProgress &) {
+        sizes_at_intervals.push_back(streamed_csv.str().size());
+    };
+    serve::ReplayDriver replay(workload.trace, workload.profiles,
+                               cluster, *engine, options);
+    replay.run();
+
+    // Incremental: the stream grew while the replay was in flight,
+    // not in one final dump.
+    ASSERT_GT(sizes_at_intervals.size(), 2u);
+    EXPECT_GT(sizes_at_intervals[1], 0u);
+    EXPECT_GT(sizes_at_intervals.back(), sizes_at_intervals[1]);
+
+    // Same rows: the streamer interleaves interval and forecast rows
+    // by flush point, so compare as sorted multisets of lines.
+    const auto sortedLines = [](const std::string &text) {
+        std::vector<std::string> lines;
+        std::istringstream in(text);
+        for (std::string line; std::getline(in, line);)
+            lines.push_back(line);
+        std::sort(lines.begin(), lines.end());
+        return lines;
+    };
+    EXPECT_EQ(sortedLines(streamed_csv.str()),
+              sortedLines(batch_csv.str()));
+}
+
+// --------------------------------------------------------- serving
+
+TEST(ServeFacadeTest, OnlineSchemesServeWithNoTraceAnywhere)
+{
+    // Note what this test never constructs: a trace::Trace, an
+    // arrival schedule, a Simulator. The engine is fed observations
+    // through the façade alone, the way a live front end would.
+    workload::FunctionProfile profile;
+    profile.name = "served";
+    profile.memory_mb = 256;
+    profile.cold_start_ms = {1000, 2000};
+    profile.exec_ms = {400, 800};
+    const std::vector<workload::FunctionProfile> profiles{
+        profile, profile, profile};
+    const sim::ClusterConfig cluster =
+        sim::defaultHeterogeneousCluster();
+
+    for (const char *scheme :
+         {"openwhisk", "wild", "faascache", "icebreaker"}) {
+        SCOPED_TRACE(scheme);
+        const std::unique_ptr<serve::DecisionEngine> engine =
+            harness::makeDecisionEngineByName(scheme);
+
+        sim::SimContext ctx;
+        ctx.num_functions = profiles.size();
+        ctx.profiles = &profiles;
+        ctx.cluster = &cluster;
+        ctx.interval_ms = kMsPerMinute;
+        engine->initialize(ctx);
+
+        GrantAllWarmup facade_cluster;
+        Rng rng(0x5E27E);
+        for (IntervalIndex interval = 0; interval < 30; ++interval) {
+            facade_cluster.now_ms = interval * kMsPerMinute;
+            engine->advanceInterval(facade_cluster);
+            // Function 0 arrives every interval, 1 every third, 2
+            // at random; outcomes are reported like a front end
+            // observing its own dispatches.
+            engine->pushArrival(0);
+            engine->onExecutionStart(0, Tier::HighEnd, false,
+                                     facade_cluster.now_ms);
+            if (interval % 3 == 0) {
+                engine->pushArrival(1, 2);
+                engine->onExecutionStart(1, Tier::LowEnd, true,
+                                         facade_cluster.now_ms);
+            }
+            if (rng.uniformInt(0, 2) == 0)
+                engine->pushArrival(2);
+        }
+        EXPECT_EQ(engine->servedIntervals(), 30);
+
+        // Every scheme must at least survive; the predictive ones
+        // must have acted on the perfectly regular function 0.
+        const std::vector<serve::Decision> decisions =
+            engine->drainDecisions();
+        EXPECT_EQ(decisions.size(), engine->decisionCount());
+        if (std::string(scheme) == "wild" ||
+            std::string(scheme) == "icebreaker") {
+            EXPECT_GT(decisions.size(), 0u);
+            bool warmed_regular = false;
+            for (const serve::Decision &d : decisions) {
+                EXPECT_LT(d.interval, 30);
+                EXPECT_GT(d.count, 0u);
+                if (d.fn == 0)
+                    warmed_regular = true;
+            }
+            EXPECT_TRUE(warmed_regular);
+        }
+    }
+}
+
+TEST(ServeFacadeTest, ObservationsReachThePolicyPerClosedInterval)
+{
+    /** Records every observation batch it is pushed. */
+    class ObservingPolicy final : public sim::Policy
+    {
+      public:
+        const char *name() const override { return "observing"; }
+        void
+        onIntervalObserved(const sim::IntervalObservation &closed)
+            override
+        {
+            std::vector<std::uint32_t> counts;
+            for (FunctionId fn = 0; fn < closed.num_functions; ++fn)
+                counts.push_back(closed.arrivalsFor(fn));
+            observed.push_back(std::move(counts));
+            intervals.push_back(closed.interval);
+        }
+        TimeMs
+        keepAliveAfterExecutionMs(FunctionId, Tier, TimeMs) override
+        {
+            return 0;
+        }
+        std::vector<std::vector<std::uint32_t>> observed;
+        std::vector<IntervalIndex> intervals;
+    };
+
+    auto owned = std::make_unique<ObservingPolicy>();
+    ObservingPolicy *policy = owned.get();
+    serve::DecisionEngine engine(std::move(owned));
+
+    const std::vector<workload::FunctionProfile> profiles(2);
+    sim::SimContext ctx;
+    ctx.num_functions = 2;
+    ctx.profiles = &profiles;
+    ctx.interval_ms = kMsPerMinute;
+    engine.initialize(ctx);
+
+    GrantAllWarmup cluster;
+    engine.advanceInterval(cluster); // opens interval 0, nothing closed
+    engine.pushArrival(0, 3);
+    engine.pushArrival(1);
+    engine.advanceInterval(cluster); // closes interval 0
+    engine.pushArrival(1, 2);
+    engine.advanceInterval(cluster); // closes interval 1
+
+    ASSERT_EQ(policy->observed.size(), 2u);
+    EXPECT_EQ(policy->intervals, (std::vector<IntervalIndex>{0, 1}));
+    EXPECT_EQ(policy->observed[0],
+              (std::vector<std::uint32_t>{3, 1}));
+    EXPECT_EQ(policy->observed[1],
+              (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(ServeFacadeTest, OracleIsRejectedAtTheServingBoundary)
+{
+    EXPECT_DEATH(harness::makeDecisionEngineByName("oracle"),
+                 "serving");
+}
+
+// ----------------------------------------------------------- runner
+
+TEST(ServeRunnerTest, EngineWrappedGridIsThreadCountInvariant)
+{
+    // Engine-wrapped schemes registered as first-class registry
+    // citizens, racing their bare counterparts in one grid. The
+    // wrapped cells must equal the bare cells bit for bit, at every
+    // thread count (this is also the TSan surface for the engine).
+    const harness::ScopedPolicyRegistration wrapped_ib(
+        "icebreaker-engine",
+        [] { return harness::makeDecisionEngineByName("icebreaker"); });
+    const harness::ScopedPolicyRegistration wrapped_wild(
+        "wild-engine",
+        [] { return harness::makeDecisionEngineByName("wild"); });
+
+    const harness::Workload workload = serveWorkload(16, 60);
+    const std::vector<harness::SweepPoint> points = {
+        {"", sim::defaultHeterogeneousCluster()}};
+    const std::vector<harness::RunSpec> grid = harness::buildGrid(
+        {"icebreaker", "icebreaker-engine", "wild", "wild-engine"},
+        workload, points, harness::kDefaultBaseSeed, 2);
+
+    const std::vector<harness::RunResult> serial =
+        harness::ExperimentRunner(1).run(grid);
+    const std::vector<harness::RunResult> threaded =
+        harness::ExperimentRunner(4).run(grid);
+
+    ASSERT_EQ(serial.size(), grid.size());
+    ASSERT_EQ(threaded.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_EQ(hashMetrics(serial[i].metrics),
+                  hashMetrics(threaded[i].metrics));
+    }
+    // Bare vs engine-wrapped, replicate by replicate.
+    for (std::size_t r = 0; r < 2; ++r) {
+        EXPECT_EQ(hashMetrics(serial[r].metrics),
+                  hashMetrics(serial[2 + r].metrics));
+        EXPECT_EQ(hashMetrics(serial[4 + r].metrics),
+                  hashMetrics(serial[6 + r].metrics));
+    }
+}
+
+} // namespace
