@@ -22,17 +22,43 @@
  * Also times the raw non-power-of-two real FFT (legacy per-call
  * Bluestein vs cached plan) since that is the single hottest kernel.
  *
+ * A fourth, many-function *batch* section times the ForecastPool's
+ * SoA block engine against a fleet of scalar FftPredictor instances:
+ * ns/forecast and forecasts/sec for scalar vs pool-exact
+ * (bit-identical mode) vs pool-fast (rotation-recurrence trig,
+ * <= 1e-9), at --batch-functions scale (default 10000, accepted up to
+ * 1M synthetic histories).
+ *
  * Flags:
  *   --functions N / --intervals N   grid size (default 64 x 400)
  *   --window N                      FIP window (default 120, non-pow2)
  *   --threads N                     shard functions across N threads
+ *   --batch-functions N             batch-section fleet size
+ *                                   (default 10000, up to 1M)
+ *   --batch-intervals N             timed rounds per batch mode
+ *                                   (default 3)
  *   --json PATH                     output path (default BENCH_fip.json)
  *   --smoke                         tiny grid + correctness gates:
  *                                   exits non-zero if the plan path
  *                                   allocates in steady state, drifts
- *                                   from legacy, or incremental mode
- *                                   leaves the 1e-6 envelope. Absolute
- *                                   timings are NOT gated (CI noise).
+ *                                   from legacy, incremental mode
+ *                                   leaves the 1e-6 envelope, the
+ *                                   batch pool diverges (exact must be
+ *                                   bit-identical, fast <= 1e-9), or
+ *                                   the pool allocates in steady
+ *                                   state. Absolute timings are NOT
+ *                                   gated (CI noise).
+ *   --baseline PATH                 gate the batch fast-vs-scalar
+ *                                   speedup against a committed
+ *                                   BENCH_fip.json: re-runs at the
+ *                                   committed batch scale (best of 5
+ *                                   rounds) and fails if more than 2%
+ *                                   below it. Refuses loudly if the
+ *                                   committed config digest does not
+ *                                   match its recorded window/horizon/
+ *                                   batch geometry (stale baseline) or
+ *                                   does not match this run's window
+ *                                   and horizon.
  */
 
 #include <algorithm>
@@ -56,6 +82,7 @@
 #include "math/polyfit.hh"
 #include "math/stats.hh"
 #include "predictors/fft_predictor.hh"
+#include "predictors/forecast_pool.hh"
 
 // ---------------------------------------------------------------------------
 // Global allocation counter. Counts every operator new in the
@@ -515,7 +542,10 @@ struct BenchConfig
     std::size_t window = 120;
     std::size_t horizon = 11;
     std::size_t threads = 1;
+    std::size_t batch_functions = 10000;
+    std::size_t batch_intervals = 3;
     std::string json_path = "BENCH_fip.json";
+    std::string baseline_path;
     bool smoke = false;
 };
 
@@ -730,12 +760,258 @@ checkAgreement(const BenchConfig &cfg, double &plan_vs_legacy,
     }
 }
 
+// ---------------------------------------------------------------------------
+// Batch section: the ForecastPool SoA engine vs a scalar predictor
+// fleet at --batch-functions scale.
+// ---------------------------------------------------------------------------
+
+struct BatchResult
+{
+    std::size_t functions = 0;
+    std::size_t intervals = 0;
+    /** Functions the scalar fleet actually timed/verified (capped so
+     * a 1M-function batch run does not also build 1M scalar
+     * predictor objects; per-forecast scalar cost is scale-free). */
+    std::size_t scalar_sample = 0;
+    double scalar_ns = 0.0;
+    double exact_ns = 0.0;
+    double fast_ns = 0.0;
+    double exact_diff = 0.0; //!< max |pool_exact - scalar| (gate: 0)
+    long long exact_bit_mismatches = 0;
+    double fast_diff = 0.0; //!< max |pool_fast - scalar| (gate: 1e-9)
+    double steady_allocs = 0.0; //!< pool allocs per (function,interval)
+};
+
+BatchResult
+runBatch(const BenchConfig &cfg)
+{
+    using iceb::predictors::FftPredictor;
+    using iceb::predictors::FftPredictorConfig;
+    using iceb::predictors::ForecastPool;
+    using iceb::predictors::ForecastPoolOptions;
+
+    BatchResult r;
+    r.functions = cfg.batch_functions;
+    r.intervals = cfg.batch_intervals;
+    r.scalar_sample =
+        std::min<std::size_t>(cfg.batch_functions, 65536);
+
+    FftPredictorConfig fip;
+    fip.window = cfg.window;
+
+    ForecastPoolOptions exact_opts;
+    ForecastPool pool_exact(exact_opts);
+    ForecastPoolOptions fast_opts;
+    fast_opts.fast_path = true;
+    ForecastPool pool_fast(fast_opts);
+    std::vector<FftPredictor> scalar;
+    scalar.reserve(r.scalar_sample);
+    for (std::size_t fn = 0; fn < cfg.batch_functions; ++fn) {
+        pool_exact.addFunction(fip);
+        pool_fast.addFunction(fip);
+        if (fn < r.scalar_sample)
+            scalar.emplace_back(fip);
+    }
+
+    // Fill every history to a full window (untimed), then one warm
+    // forecast per mode so workspace capacities converge before the
+    // timed rounds.
+    const std::size_t warm = cfg.window + 8;
+    for (std::size_t t = 0; t < warm; ++t) {
+        for (std::size_t fn = 0; fn < cfg.batch_functions; ++fn) {
+            const double v = signalAt(fn, t);
+            pool_exact.observe(fn, v);
+            pool_fast.observe(fn, v);
+            if (fn < r.scalar_sample)
+                scalar[fn].observe(v);
+        }
+    }
+    pool_exact.forecastAll(cfg.horizon);
+    pool_fast.forecastAll(cfg.horizon);
+    std::vector<double> out;
+    for (std::size_t fn = 0; fn < r.scalar_sample; ++fn)
+        scalar[fn].forecastHorizon(cfg.horizon, out);
+
+    // Timed rounds: observe one interval per function, then forecast
+    // the fleet. All three modes walk the same observation stream so
+    // the post-timing states line up for the equivalence sweep.
+    const std::size_t rounds = cfg.batch_intervals;
+
+    auto t0 = Clock::now();
+    for (std::size_t rd = 0; rd < rounds; ++rd) {
+        for (std::size_t fn = 0; fn < r.scalar_sample; ++fn) {
+            scalar[fn].observe(signalAt(fn, warm + rd));
+            scalar[fn].forecastHorizon(cfg.horizon, out);
+        }
+    }
+    auto t1 = Clock::now();
+    r.scalar_ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        static_cast<double>(r.scalar_sample * rounds);
+
+    t0 = Clock::now();
+    for (std::size_t rd = 0; rd < rounds; ++rd) {
+        for (std::size_t fn = 0; fn < cfg.batch_functions; ++fn)
+            pool_exact.observe(fn, signalAt(fn, warm + rd));
+        pool_exact.forecastAll(cfg.horizon);
+    }
+    t1 = Clock::now();
+    r.exact_ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        static_cast<double>(cfg.batch_functions * rounds);
+
+    t0 = Clock::now();
+    for (std::size_t rd = 0; rd < rounds; ++rd) {
+        for (std::size_t fn = 0; fn < cfg.batch_functions; ++fn)
+            pool_fast.observe(fn, signalAt(fn, warm + rd));
+        pool_fast.forecastAll(cfg.horizon);
+    }
+    t1 = Clock::now();
+    r.fast_ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        static_cast<double>(cfg.batch_functions * rounds);
+
+    // Equivalence sweep over a bounded subset (the scalar forecast is
+    // recomputed from the identical post-timing history; the pools'
+    // last forecastAll covers the same history).
+    const std::size_t check =
+        std::min<std::size_t>(r.scalar_sample, 4096);
+    for (std::size_t fn = 0; fn < check; ++fn) {
+        scalar[fn].forecastHorizon(cfg.horizon, out);
+        const double *exact = pool_exact.forecast(fn);
+        const double *fast = pool_fast.forecast(fn);
+        for (std::size_t h = 0; h < cfg.horizon; ++h) {
+            r.exact_diff = std::max(r.exact_diff,
+                                    std::fabs(exact[h] - out[h]));
+            if (std::memcmp(&exact[h], &out[h], sizeof(double)) != 0)
+                ++r.exact_bit_mismatches;
+            r.fast_diff =
+                std::max(r.fast_diff, std::fabs(fast[h] - out[h]));
+        }
+    }
+
+    // Steady-state allocation probe: one more observe+forecastAll
+    // round per pool must not allocate at all.
+    const long long before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    for (std::size_t fn = 0; fn < cfg.batch_functions; ++fn) {
+        pool_exact.observe(fn, signalAt(fn, warm + rounds));
+        pool_fast.observe(fn, signalAt(fn, warm + rounds));
+    }
+    pool_exact.forecastAll(cfg.horizon);
+    pool_fast.forecastAll(cfg.horizon);
+    const long long after =
+        g_alloc_count.load(std::memory_order_relaxed);
+    r.steady_allocs = static_cast<double>(after - before) /
+        static_cast<double>(cfg.batch_functions);
+    return r;
+}
+
+/**
+ * FNV-1a digest of the geometry a batch measurement depends on. The
+ * baseline gate refuses to compare runs whose digests disagree, so a
+ * committed BENCH_fip.json can never silently gate a differently
+ * configured run (the staleness failure mode this replaces).
+ */
+std::string
+configDigest(std::size_t window, std::size_t horizon,
+             std::size_t batch_functions, std::size_t batch_intervals)
+{
+    char text[128];
+    std::snprintf(text, sizeof(text),
+                  "window=%zu;horizon=%zu;batch_functions=%zu;"
+                  "batch_intervals=%zu",
+                  window, horizon, batch_functions, batch_intervals);
+    unsigned long long hash = 1469598103934665603ull;
+    for (const char *p = text; *p != '\0'; ++p) {
+        hash ^= static_cast<unsigned char>(*p);
+        hash *= 1099511628211ull;
+    }
+    char out[32];
+    std::snprintf(out, sizeof(out), "0x%016llx", hash);
+    return out;
+}
+
+/** Fields the baseline gate reads from a committed BENCH_fip.json. */
+struct Baseline
+{
+    std::size_t window = 0;
+    std::size_t horizon = 0;
+    std::size_t batch_functions = 0;
+    std::size_t batch_intervals = 0;
+    double speedup_fast_vs_scalar = 0.0;
+    std::string digest;
+};
+
+/** Flat string scan (the file is written by this bench itself). */
+Baseline
+readBaseline(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_fip: cannot read baseline %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+
+    const auto number = [&](const std::string &key, std::size_t from,
+                            const char *what) -> double {
+        const std::size_t pos = text.find(key, from);
+        if (pos == std::string::npos) {
+            std::fprintf(stderr,
+                         "bench_fip: baseline %s has no %s -- "
+                         "regenerate it with a batch-mode run\n",
+                         path.c_str(), what);
+            std::exit(1);
+        }
+        return std::strtod(text.c_str() + pos + key.size(), nullptr);
+    };
+
+    Baseline base;
+    base.window = static_cast<std::size_t>(
+        number("\"window\":", 0, "window"));
+    base.horizon = static_cast<std::size_t>(
+        number("\"horizon\":", 0, "horizon"));
+    const std::size_t batch_pos = text.find("\"batch\":");
+    if (batch_pos == std::string::npos) {
+        std::fprintf(stderr,
+                     "bench_fip: baseline %s has no batch section -- "
+                     "regenerate it with a batch-mode run\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    base.batch_functions = static_cast<std::size_t>(
+        number("\"functions\":", batch_pos, "batch functions"));
+    base.batch_intervals = static_cast<std::size_t>(
+        number("\"intervals\":", batch_pos, "batch intervals"));
+    base.speedup_fast_vs_scalar = number("\"speedup_fast_vs_scalar\":",
+                                         batch_pos,
+                                         "speedup_fast_vs_scalar");
+
+    const std::string digest_key = "\"config_digest\": \"";
+    const std::size_t digest_pos = text.find(digest_key);
+    if (digest_pos == std::string::npos) {
+        std::fprintf(stderr,
+                     "bench_fip: baseline %s has no config_digest -- "
+                     "regenerate it with a batch-mode run\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    const std::size_t digest_start = digest_pos + digest_key.size();
+    const std::size_t digest_end = text.find('"', digest_start);
+    base.digest = text.substr(digest_start, digest_end - digest_start);
+    return base;
+}
+
 void
 writeJson(const BenchConfig &cfg, const ModeResult &legacy_r,
           const ModeResult &plan_r, const ModeResult &inc_r,
           double fft_legacy_ns, double fft_plan_ns,
           double plan_vs_legacy, double incremental_vs_plan,
-          double steady_allocs_plan, double steady_allocs_inc)
+          double steady_allocs_plan, double steady_allocs_inc,
+          const BatchResult &batch)
 {
     std::ofstream out(cfg.json_path);
     if (!out) {
@@ -774,7 +1050,35 @@ writeJson(const BenchConfig &cfg, const ModeResult &legacy_r,
     out << "  \"max_abs_diff\": {\n";
     out << "    \"plan_vs_legacy\": " << plan_vs_legacy << ",\n";
     out << "    \"incremental_vs_plan\": " << incremental_vs_plan << "\n";
-    out << "  }\n";
+    out << "  },\n";
+    out << "  \"batch\": {\n";
+    out << "    \"functions\": " << batch.functions << ",\n";
+    out << "    \"intervals\": " << batch.intervals << ",\n";
+    out << "    \"scalar_sample_functions\": " << batch.scalar_sample
+        << ",\n";
+    out << "    \"scalar_ns_per_forecast\": " << batch.scalar_ns
+        << ",\n";
+    out << "    \"exact_ns_per_forecast\": " << batch.exact_ns << ",\n";
+    out << "    \"fast_ns_per_forecast\": " << batch.fast_ns << ",\n";
+    out << "    \"scalar_forecasts_per_sec\": "
+        << 1e9 / batch.scalar_ns << ",\n";
+    out << "    \"exact_forecasts_per_sec\": " << 1e9 / batch.exact_ns
+        << ",\n";
+    out << "    \"fast_forecasts_per_sec\": " << 1e9 / batch.fast_ns
+        << ",\n";
+    out << "    \"speedup_exact_vs_scalar\": "
+        << batch.scalar_ns / batch.exact_ns << ",\n";
+    out << "    \"speedup_fast_vs_scalar\": "
+        << batch.scalar_ns / batch.fast_ns << ",\n";
+    out << "    \"max_abs_diff_exact\": " << batch.exact_diff << ",\n";
+    out << "    \"max_abs_diff_fast\": " << batch.fast_diff << ",\n";
+    out << "    \"steady_state_allocs\": " << batch.steady_allocs
+        << "\n";
+    out << "  },\n";
+    out << "  \"config_digest\": \""
+        << configDigest(cfg.window, cfg.horizon, batch.functions,
+                        batch.intervals)
+        << "\"\n";
     out << "}\n";
 }
 
@@ -801,20 +1105,68 @@ main(int argc, char **argv)
             cfg.window = std::stoul(next());
         } else if (arg == "--threads") {
             cfg.threads = std::max<std::size_t>(1, std::stoul(next()));
+        } else if (arg == "--batch-functions") {
+            cfg.batch_functions = std::clamp<std::size_t>(
+                std::stoul(next()), 1, 1000000);
+        } else if (arg == "--batch-intervals") {
+            cfg.batch_intervals =
+                std::max<std::size_t>(1, std::stoul(next()));
         } else if (arg == "--json") {
             cfg.json_path = next();
+        } else if (arg == "--baseline") {
+            cfg.baseline_path = next();
         } else if (arg == "--smoke") {
             cfg.smoke = true;
         } else {
             std::cerr << "usage: bench_fip [--functions N]"
                       << " [--intervals N] [--window N] [--threads N]"
-                      << " [--json PATH] [--smoke]\n";
+                      << " [--batch-functions N] [--batch-intervals N]"
+                      << " [--json PATH] [--baseline PATH] [--smoke]\n";
             return arg == "--help" ? 0 : 2;
         }
     }
     if (cfg.smoke) {
         cfg.functions = std::min<std::size_t>(cfg.functions, 4);
         cfg.intervals = std::min<std::size_t>(cfg.intervals, 60);
+        cfg.batch_functions =
+            std::min<std::size_t>(cfg.batch_functions, 512);
+        cfg.batch_intervals =
+            std::min<std::size_t>(cfg.batch_intervals, 2);
+    }
+
+    // The baseline gate compares like against like: the batch section
+    // re-runs at the committed geometry (overriding --smoke's clamp),
+    // and a baseline whose digest disagrees with its own recorded
+    // geometry -- or whose window/horizon disagree with this run -- is
+    // refused rather than silently compared.
+    Baseline baseline;
+    if (!cfg.baseline_path.empty()) {
+        baseline = readBaseline(cfg.baseline_path);
+        const std::string expect = configDigest(
+            baseline.window, baseline.horizon, baseline.batch_functions,
+            baseline.batch_intervals);
+        if (baseline.digest != expect) {
+            std::fprintf(stderr,
+                         "FAIL: baseline %s is stale: config_digest %s"
+                         " does not match its recorded geometry"
+                         " (expected %s) -- regenerate the baseline\n",
+                         cfg.baseline_path.c_str(),
+                         baseline.digest.c_str(), expect.c_str());
+            return 1;
+        }
+        if (baseline.window != cfg.window ||
+            baseline.horizon != cfg.horizon) {
+            std::fprintf(stderr,
+                         "FAIL: baseline %s was measured at window=%zu"
+                         " horizon=%zu but this run uses window=%zu"
+                         " horizon=%zu -- refusing to compare"
+                         " mismatched configs\n",
+                         cfg.baseline_path.c_str(), baseline.window,
+                         baseline.horizon, cfg.window, cfg.horizon);
+            return 1;
+        }
+        cfg.batch_functions = baseline.batch_functions;
+        cfg.batch_intervals = baseline.batch_intervals;
     }
 
     iceb::predictors::FftPredictorConfig fip;
@@ -867,6 +1219,8 @@ main(int argc, char **argv)
     const double steady_allocs_plan = steadyStateAllocs(cfg, false);
     const double steady_allocs_inc = steadyStateAllocs(cfg, true);
 
+    const BatchResult batch = runBatch(cfg);
+
     std::printf("bench_fip: %zu functions x %zu intervals, window %zu"
                 " (non-pow2: %s), horizon %zu, threads %zu\n",
                 cfg.functions, cfg.intervals, cfg.window,
@@ -893,9 +1247,27 @@ main(int argc, char **argv)
                 " incremental vs plan %.3g\n",
                 plan_vs_legacy, incremental_vs_plan);
 
+    std::printf("batch: %zu functions x %zu intervals (scalar fleet"
+                " sampled at %zu)\n",
+                batch.functions, batch.intervals, batch.scalar_sample);
+    std::printf("  %-12s %10s %16s %10s\n", "mode", "ns/fcast",
+                "forecasts/sec", "speedup");
+    std::printf("  %-12s %10.0f %16.0f %10s\n", "scalar",
+                batch.scalar_ns, 1e9 / batch.scalar_ns, "1.00x");
+    std::printf("  %-12s %10.0f %16.0f %9.2fx\n", "pool-exact",
+                batch.exact_ns, 1e9 / batch.exact_ns,
+                batch.scalar_ns / batch.exact_ns);
+    std::printf("  %-12s %10.0f %16.0f %9.2fx\n", "pool-fast",
+                batch.fast_ns, 1e9 / batch.fast_ns,
+                batch.scalar_ns / batch.fast_ns);
+    std::printf("  max |diff|: exact %.3g (%lld bit mismatches),"
+                " fast %.3g; steady-state allocs %.4f\n",
+                batch.exact_diff, batch.exact_bit_mismatches,
+                batch.fast_diff, batch.steady_allocs);
+
     writeJson(cfg, legacy_r, plan_r, inc_r, fft_legacy_ns, fft_plan_ns,
               plan_vs_legacy, incremental_vs_plan, steady_allocs_plan,
-              steady_allocs_inc);
+              steady_allocs_inc, batch);
     std::printf("  wrote %s\n", cfg.json_path.c_str());
 
     if (cfg.smoke) {
@@ -926,9 +1298,58 @@ main(int argc, char **argv)
                          incremental_vs_plan);
             ok = false;
         }
+        if (batch.exact_bit_mismatches != 0) {
+            std::fprintf(stderr,
+                         "FAIL: batched exact mode is not bit-identical"
+                         " to the scalar predictor (%lld mismatches,"
+                         " max |diff| %.3g)\n",
+                         batch.exact_bit_mismatches, batch.exact_diff);
+            ok = false;
+        }
+        if (batch.fast_diff > 1e-9) {
+            std::fprintf(stderr,
+                         "FAIL: batched fast mode outside 1e-9"
+                         " (max |diff| %.3g)\n",
+                         batch.fast_diff);
+            ok = false;
+        }
+        if (batch.steady_allocs > 0.0) {
+            std::fprintf(stderr,
+                         "FAIL: forecast pool allocates in steady state"
+                         " (%.4f allocs per function-interval)\n",
+                         batch.steady_allocs);
+            ok = false;
+        }
         if (!ok)
             return 1;
         std::printf("  smoke gates passed\n");
+    }
+
+    if (!cfg.baseline_path.empty()) {
+        // Same reasoning as bench_sim's gate: the ratio of two rates
+        // measured back to back in one process cancels machine speed,
+        // and contention can only depress a measured speedup, so on a
+        // miss we re-measure and keep the best round -- noise is shed
+        // while a genuine regression fails every round.
+        const double floor = baseline.speedup_fast_vs_scalar * 0.98;
+        double best = batch.scalar_ns / batch.fast_ns;
+        for (int round = 2; best < floor && round <= 5; ++round) {
+            const BatchResult again = runBatch(cfg);
+            const double speedup = again.scalar_ns / again.fast_ns;
+            std::printf("gate re-measure round %d: %.3f\n", round,
+                        speedup);
+            best = std::max(best, speedup);
+        }
+        std::printf("baseline batch speedup %.3f -> floor %.3f (-2%%),"
+                    " measured %.3f\n",
+                    baseline.speedup_fast_vs_scalar, floor, best);
+        if (best < floor) {
+            std::fprintf(stderr,
+                         "FAIL: batch fast-vs-scalar speedup regressed"
+                         " more than 2%% below the committed"
+                         " baseline\n");
+            return 1;
+        }
     }
     return 0;
 }

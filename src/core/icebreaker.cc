@@ -23,10 +23,17 @@ IceBreakerPolicy::initialize(const sim::SimContext &ctx)
     const std::size_t n = ctx.num_functions;
     functions_.clear();
     functions_.reserve(n);
+    predictors::ForecastPoolOptions pool_opts;
+    pool_opts.fast_path = config_.fip_fast_batch;
+    pool_opts.threads = config_.fip_threads;
+    pool_ = predictors::ForecastPool(pool_opts);
     std::vector<double> memory_ratios(n, 0.0);
     for (std::size_t fn = 0; fn < n; ++fn) {
-        functions_.emplace_back(config_.fip, config_.pdm.window);
+        functions_.emplace_back(config_.pdm.window);
         FunctionState &state = functions_.back();
+        const std::size_t slot = pool_.addFunction(config_.fip);
+        ICEB_ASSERT(slot == fn, "pool slots must mirror function ids");
+        (void)slot;
         const workload::FunctionProfile &profile = (*ctx.profiles)[fn];
         state.speedup_raw = profile.interServerSpeedup();
         state.memory_raw = std::min(
@@ -72,7 +79,7 @@ IceBreakerPolicy::onIntervalObserved(
         state.wasted_this_interval = 0;
 
         state.max_observed = std::max(state.max_observed, observed);
-        state.predictor.observe(static_cast<double>(observed));
+        pool_.observe(fn, static_cast<double>(observed));
     }
 }
 
@@ -95,22 +102,23 @@ IceBreakerPolicy::onIntervalStart(IntervalIndex interval,
     pdm_->updateCutoffs(vacant_frac(Tier::HighEnd),
                         vacant_frac(Tier::LowEnd));
 
-    // 3. Predict and collect candidates.
+    // 3. Predict the whole fleet in one batched pass, then collect
+    // candidates from the per-function horizons.
+    const std::size_t horizon_len = config_.keep_alive_horizon + 1;
+    pool_.forecastAll(horizon_len);
     std::vector<UtilityComponents> &candidates = candidates_;
     std::vector<std::size_t> &counts = counts_;
     candidates.clear();
     counts.clear();
     for (FunctionId fn = 0; fn < functions_.size(); ++fn) {
         FunctionState &state = functions_[fn];
-        std::vector<double> &horizon = horizon_scratch_;
-        state.predictor.forecastHorizon(config_.keep_alive_horizon + 1,
-                                        horizon);
-        const double prediction = horizon.front();
+        const double *horizon = pool_.forecast(fn);
+        const double prediction = horizon[0];
         state.last_prediction = prediction;
         // The next interval beyond this one with predicted activity
         // drives post-execution keep-alive durations.
         state.next_predicted_gap = 0;
-        for (std::size_t step = 1; step < horizon.size(); ++step) {
+        for (std::size_t step = 1; step < horizon_len; ++step) {
             if (horizon[step] >= 0.5) {
                 state.next_predicted_gap =
                     static_cast<std::uint32_t>(step);

@@ -28,6 +28,7 @@
 #include "common/units.hh"
 #include "core/pdm.hh"
 #include "predictors/fft_predictor.hh"
+#include "predictors/forecast_pool.hh"
 #include "predictors/prediction_tracker.hh"
 #include "sim/policy.hh"
 
@@ -69,6 +70,18 @@ struct IceBreakerConfig
      * (the paper's Fig. 1 idea).
      */
     std::size_t keep_alive_horizon = 10;
+
+    /**
+     * Batched-FIP knobs, forwarded to the ForecastPool. The default
+     * (exact mode, one thread) is bit-identical to forecasting through
+     * per-function FftPredictor instances; fip_fast_batch opts into
+     * the rotation-recurrence fast path (<= 1e-9 per forecast, the
+     * "icebreaker-fastfip" registry scheme). fip_threads > 1
+     * forecasts blocks in parallel and stays byte-identical for any
+     * thread count.
+     */
+    bool fip_fast_batch = false;
+    std::size_t fip_threads = 1;
 };
 
 /**
@@ -79,7 +92,11 @@ class IceBreakerPolicy : public sim::Policy
   public:
     explicit IceBreakerPolicy(IceBreakerConfig config = {});
 
-    const char *name() const override { return "icebreaker"; }
+    const char *name() const override
+    {
+        return config_.fip_fast_batch ? "icebreaker-fastfip"
+                                      : "icebreaker";
+    }
 
     void initialize(const sim::SimContext &ctx) override;
     void onIntervalObserved(
@@ -102,7 +119,6 @@ class IceBreakerPolicy : public sim::Policy
   private:
     struct FunctionState
     {
-        predictors::FftPredictor predictor;
         predictors::PredictionTracker tracker;
         std::uint32_t invoked_this_interval = 0;
         std::uint32_t cold_this_interval = 0;
@@ -117,22 +133,25 @@ class IceBreakerPolicy : public sim::Policy
         double speedup_raw = 1.0; //!< I_s
         double memory_raw = 0.0;  //!< M_r
 
-        FunctionState(const predictors::FftPredictorConfig &fip,
-                      std::size_t window)
-            : predictor(fip), tracker(window)
-        {
-        }
+        explicit FunctionState(std::size_t window) : tracker(window) {}
     };
 
     IceBreakerConfig config_;
     std::vector<FunctionState> functions_;
+    /**
+     * Batched FIP state for every function, slot id == FunctionId
+     * (functions are registered in id order and never retired here).
+     * Replaces the per-function FftPredictor members: one
+     * forecastAll() per interval forecasts the whole fleet through
+     * the SoA block kernels.
+     */
+    predictors::ForecastPool pool_;
     std::unique_ptr<Pdm> pdm_;
 
     // Per-interval scratch, hoisted out of onIntervalStart so the
     // decision loop stops re-allocating these for every interval of
     // every scheme run. Contents are rebuilt from scratch each
     // interval; only the capacity persists.
-    std::vector<double> horizon_scratch_;
     std::vector<UtilityComponents> candidates_;
     std::vector<std::size_t> counts_;
     std::vector<UtilityScore> scores_;

@@ -22,24 +22,49 @@ computeUtilityScores(const std::vector<UtilityComponents> &candidates,
     if (candidates.empty())
         return;
 
+    // Fused column min/max scan (replacing four normalized copies of
+    // the component columns). The comparison directions mirror
+    // std::min_element / std::max_element exactly, so the extrema --
+    // and through minMaxNormalizeValue every score -- are bit-identical
+    // to the copying implementation this replaces.
     const std::size_t n = candidates.size();
-    std::vector<double> tn(n), fp(n), is(n), mr(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        tn[i] = candidates[i].true_negative;
-        fp[i] = candidates[i].false_positive;
-        is[i] = candidates[i].speedup;
-        mr[i] = candidates[i].memory;
+    double tn_lo = candidates[0].true_negative, tn_hi = tn_lo;
+    double fp_lo = candidates[0].false_positive, fp_hi = fp_lo;
+    double is_lo = candidates[0].speedup, is_hi = is_lo;
+    double mr_lo = candidates[0].memory, mr_hi = mr_lo;
+    for (std::size_t i = 1; i < n; ++i) {
+        const UtilityComponents &c = candidates[i];
+        if (c.true_negative < tn_lo)
+            tn_lo = c.true_negative;
+        if (tn_hi < c.true_negative)
+            tn_hi = c.true_negative;
+        if (c.false_positive < fp_lo)
+            fp_lo = c.false_positive;
+        if (fp_hi < c.false_positive)
+            fp_hi = c.false_positive;
+        if (c.speedup < is_lo)
+            is_lo = c.speedup;
+        if (is_hi < c.speedup)
+            is_hi = c.speedup;
+        if (c.memory < mr_lo)
+            mr_lo = c.memory;
+        if (mr_hi < c.memory)
+            mr_hi = c.memory;
     }
-    tn = math::minMaxNormalize(tn);
-    fp = math::minMaxNormalize(fp);
-    is = math::minMaxNormalize(is);
-    mr = math::minMaxNormalize(mr);
 
     for (std::size_t i = 0; i < n; ++i) {
+        const UtilityComponents &c = candidates[i];
+        const double tn =
+            math::minMaxNormalizeValue(c.true_negative, tn_lo, tn_hi);
+        const double fp =
+            math::minMaxNormalizeValue(c.false_positive, fp_lo, fp_hi);
+        const double is =
+            math::minMaxNormalizeValue(c.speedup, is_lo, is_hi);
+        const double mr =
+            math::minMaxNormalizeValue(c.memory, mr_lo, mr_hi);
         UtilityScore s;
-        s.fn = candidates[i].fn;
-        s.score =
-            (tn[i] + (1.0 - fp[i]) + (1.0 - is[i]) + (1.0 - mr[i])) / 4.0;
+        s.fn = c.fn;
+        s.score = (tn + (1.0 - fp) + (1.0 - is) + (1.0 - mr)) / 4.0;
         scores.push_back(s);
     }
 }

@@ -128,6 +128,39 @@ class FftPlan
     void forwardReal(const double *in, Complex *out,
                      FftScratch &scratch) const;
 
+    /**
+     * @name Plan-table access for batched (structure-of-arrays)
+     * transform kernels.
+     *
+     * The batched forecaster (src/predictors/forecast_kernels.cc)
+     * runs the exact butterfly/chirp operation sequence of forward()
+     * and forwardReal() over many same-length series at once. It
+     * reads the plan's precomputed tables through these accessors, so
+     * batched transforms stay bit-identical to the scalar plan paths
+     * by construction. All tables are immutable after construction.
+     */
+    ///@{
+    /** True when the transform length itself is a power of two. */
+    bool isPow2() const { return is_pow2_; }
+    /** Radix-2 kernel length: n for pow2 plans, Bluestein m else. */
+    std::size_t pow2Length() const { return pow2_len_; }
+    /** Bit-reversal permutation over pow2Length() points. */
+    const std::vector<std::uint32_t> &bitrev() const { return bitrev_; }
+    /** Concatenated per-stage butterfly twiddles (w *= w_len chain). */
+    const std::vector<Complex> &twiddles(bool inverse) const
+    {
+        return inverse ? tw_inv_ : tw_fwd_;
+    }
+    /** Forward-direction Bluestein chirp (empty for pow2 plans). */
+    const std::vector<Complex> &chirp() const { return chirp_fwd_; }
+    /** FFT of the forward Bluestein kernel b (empty for pow2 plans). */
+    const std::vector<Complex> &kernelFft() const { return bfft_fwd_; }
+    /** n/2 sub-plan driving the packed real path (null for odd n). */
+    const FftPlan *halfPlan() const { return half_.get(); }
+    /** Real-path unpack twiddles exp(-2*pi*i*k/n), k < n/2. */
+    const std::vector<Complex> &realTwiddles() const { return real_tw_; }
+    ///@}
+
   private:
     FftPlan(std::size_t n, bool build_real_path);
 

@@ -160,6 +160,90 @@ solveLinearSystem(const Matrix &a, const std::vector<double> &b,
     return x;
 }
 
+void
+FactoredSystem::factor(const double *a, std::size_t n)
+{
+    ICEB_ASSERT(n >= 1, "FactoredSystem needs a positive size");
+    n_ = n;
+    singular_ = false;
+    upper_.assign(a, a + n * n);
+    pivot_.assign(n, 0);
+    factors_.clear();
+    factors_.reserve(n * (n - 1) / 2);
+    double *work = upper_.data();
+
+    // Same pivot selection, tolerance and elimination order as
+    // solveLinearSystemInPlace, restricted to the matrix columns (the
+    // rhs column of the augmented algorithm is what solve() replays).
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::fabs(work[r * n + col]) >
+                std::fabs(work[pivot * n + col]))
+                pivot = r;
+        if (std::fabs(work[pivot * n + col]) < 1e-12) {
+            singular_ = true;
+            return;
+        }
+        pivot_[col] = static_cast<std::uint32_t>(pivot);
+        if (pivot != col) {
+            std::swap_ranges(work + col * n, work + (col + 1) * n,
+                             work + pivot * n);
+        }
+
+        const double *prow = work + col * n;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            double *row = work + r * n;
+            const double factor = row[col] / prow[col];
+            factors_.push_back(factor);
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                row[c] -= factor * prow[c];
+        }
+    }
+}
+
+void
+FactoredSystem::solve(const double *b, double *x) const
+{
+    const std::size_t n = n_;
+    ICEB_ASSERT(n >= 1, "FactoredSystem::solve before factor");
+    if (singular_) {
+        for (std::size_t i = 0; i < n; ++i)
+            x[i] = 0.0;
+        return;
+    }
+    if (x != b) {
+        for (std::size_t i = 0; i < n; ++i)
+            x[i] = b[i];
+    }
+
+    // Replay the recorded swaps and factor subtractions in the exact
+    // order the augmented elimination applied them to its rhs column.
+    const double *tape = factors_.data();
+    for (std::size_t col = 0; col < n; ++col) {
+        const std::size_t pivot = pivot_[col];
+        if (pivot != col)
+            std::swap(x[col], x[pivot]);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = *tape++;
+            if (factor == 0.0)
+                continue;
+            x[r] -= factor * x[col];
+        }
+    }
+
+    const double *work = upper_.data();
+    for (std::size_t r = n; r-- > 0;) {
+        const double *row = work + r * n;
+        double acc = x[r];
+        for (std::size_t c = r + 1; c < n; ++c)
+            acc -= row[c] * x[c];
+        x[r] = acc / row[r];
+    }
+}
+
 double
 dot(const std::vector<double> &a, const std::vector<double> &b)
 {

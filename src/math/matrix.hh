@@ -11,6 +11,7 @@
 #define ICEB_MATH_MATRIX_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace iceb::math
@@ -80,6 +81,53 @@ std::vector<double> solveLinearSystem(const Matrix &a,
 void solveLinearSystemInPlace(std::vector<double> &aug, std::size_t n,
                               std::vector<double> &x,
                               bool *singular = nullptr);
+
+/**
+ * Record/replay Gaussian elimination for solving one matrix against
+ * many right-hand sides.
+ *
+ * factor() runs the pivoting and elimination sequence of
+ * solveLinearSystemInPlace on the matrix alone, recording the pivot
+ * row chosen at each column and every elimination factor in execution
+ * order. solve() replays that recording against a right-hand side:
+ * the same row swaps at the same steps, the same factor values in the
+ * same subtraction order, the same back-substitution over the
+ * recorded upper triangle. Pivot selection in the augmented algorithm
+ * depends only on matrix columns, so a replayed solve performs the
+ * exact floating-point operation sequence that
+ * solveLinearSystemInPlace would on the corresponding augmented
+ * system - solutions are bit-identical (enforced by test).
+ *
+ * This is what lets the batched forecaster factor one shared
+ * polyfit normal matrix per (window, degree) group and then solve
+ * thousands of per-function right-hand sides cheaply.
+ */
+class FactoredSystem
+{
+  public:
+    /** Factor the n x n row-major matrix @p a (copied). */
+    void factor(const double *a, std::size_t n);
+
+    /** System size (0 until factor() is called). */
+    std::size_t size() const { return n_; }
+
+    /** True when the matrix was numerically singular. */
+    bool singular() const { return singular_; }
+
+    /**
+     * Solve A x = b by replaying the recorded elimination. @p b and
+     * @p x are n values; b == x is allowed. A singular system writes
+     * all zeros (matching solveLinearSystemInPlace's singular path).
+     */
+    void solve(const double *b, double *x) const;
+
+  private:
+    std::size_t n_ = 0;
+    bool singular_ = false;
+    std::vector<std::uint32_t> pivot_; //!< pivot row per column
+    std::vector<double> factors_;      //!< elimination tape, exec order
+    std::vector<double> upper_;        //!< post-elimination matrix rows
+};
 
 /** Dot product of two equal-length vectors. */
 double dot(const std::vector<double> &a, const std::vector<double> &b);

@@ -135,6 +135,30 @@ polyfitSeries(const double *y, std::size_t n, std::size_t degree,
     out.assign(ws.coeffs.data(), terms);
 }
 
+void
+buildSeriesPowerTable(std::size_t n, std::size_t degree,
+                      SeriesPowerTable &out)
+{
+    ICEB_ASSERT(n >= 1, "power table of empty series");
+    const std::size_t terms = degree + 1;
+    out.n = n;
+    out.degree = degree;
+    out.xpow.assign(n * terms, 0.0);
+    out.powers.assign(2 * degree + 1, 0.0);
+    // The same xk *= xi chain as polyfitSeries, so the stored powers
+    // (and the sums built from them) are the identical doubles.
+    for (std::size_t i = 0; i < n; ++i) {
+        const double xi = static_cast<double>(i);
+        double xk = 1.0;
+        for (std::size_t k = 0; k < out.powers.size(); ++k) {
+            out.powers[k] += xk;
+            if (k < terms)
+                out.xpow[i * terms + k] = xk;
+            xk *= xi;
+        }
+    }
+}
+
 std::vector<double>
 detrend(const std::vector<double> &y, const Polynomial &trend)
 {

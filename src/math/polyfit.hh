@@ -89,6 +89,33 @@ Polynomial polyfitSeries(const std::vector<double> &y, std::size_t degree);
 void polyfitSeries(const double *y, std::size_t n, std::size_t degree,
                    Polynomial &out, PolyfitWorkspace &ws);
 
+/**
+ * Shared per-(n, degree) tables for fitting many equal-length series
+ * at once: the Vandermonde powers i^k for every sample index (the
+ * exact doubles polyfitSeries' xk *= xi recurrence produces, stored
+ * so batched fits can reuse them per function), and the power sums
+ * sum_i i^k that form the normal matrix - which is identical for
+ * every series of the same length, so the batched forecaster factors
+ * it once (FactoredSystem) and replays the solve per function.
+ */
+struct SeriesPowerTable
+{
+    std::size_t n = 0;
+    std::size_t degree = 0;
+    /** i^k for k <= degree, row-major: xpow[i * (degree+1) + k]. */
+    std::vector<double> xpow;
+    /** sum_i i^k for k <= 2*degree (normal-matrix entries). */
+    std::vector<double> powers;
+};
+
+/**
+ * Build the shared tables for series of length @p n. Uses the same
+ * multiplication chain and accumulation order as polyfitSeries, so a
+ * fit assembled from these tables is bit-identical to a direct one.
+ */
+void buildSeriesPowerTable(std::size_t n, std::size_t degree,
+                           SeriesPowerTable &out);
+
 /** Subtract a polynomial trend evaluated at x = 0..n-1 from y. */
 std::vector<double> detrend(const std::vector<double> &y,
                             const Polynomial &trend);

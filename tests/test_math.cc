@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "math/chi2.hh"
 #include "math/matrix.hh"
@@ -127,6 +129,94 @@ TEST_P(SolveSizeTest, RecoversPlantedSolution)
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SolveSizeTest,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u));
+
+// -------------------------------------------------------- FactoredSystem
+
+/**
+ * The batched trend fit factors each group's normal matrix once and
+ * replays the elimination per lane; the replay must reproduce the
+ * direct augmented solve bit for bit, not merely within tolerance.
+ */
+TEST(FactoredSystemTest, ReplayMatchesDirectSolveBitwise)
+{
+    for (const std::size_t n : {1u, 2u, 3u, 5u, 8u}) {
+        Matrix a(n, n);
+        std::vector<double> flat(n * n);
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < n; ++c) {
+                const double v = (r == c)
+                    ? 10.0 + static_cast<double>(r)
+                    : std::sin(static_cast<double>(r * 7 + c));
+                a.at(r, c) = v;
+                flat[r * n + c] = v;
+            }
+        }
+
+        FactoredSystem system;
+        system.factor(flat.data(), n);
+        ASSERT_FALSE(system.singular());
+
+        std::vector<double> b(n), x(n);
+        for (std::size_t trial = 0; trial < 4; ++trial) {
+            for (std::size_t i = 0; i < n; ++i)
+                b[i] = std::cos(static_cast<double>(trial * 11 + i)) *
+                    static_cast<double>(i + 1);
+            system.solve(b.data(), x.data());
+            const std::vector<double> direct = solveLinearSystem(a, b);
+            for (std::size_t i = 0; i < n; ++i) {
+                EXPECT_EQ(std::bit_cast<std::uint64_t>(x[i]),
+                          std::bit_cast<std::uint64_t>(direct[i]))
+                    << "n=" << n << " trial=" << trial << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(FactoredSystemTest, ReplayHandlesPivoting)
+{
+    const Matrix a = Matrix::fromRows({{0, 1}, {1, 0}});
+    const std::vector<double> flat{0.0, 1.0, 1.0, 0.0};
+    FactoredSystem system;
+    system.factor(flat.data(), 2);
+    ASSERT_FALSE(system.singular());
+    const std::vector<double> b{2.0, 3.0};
+    std::vector<double> x(2);
+    system.solve(b.data(), x.data());
+    const std::vector<double> direct = solveLinearSystem(a, b);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(x[0]),
+              std::bit_cast<std::uint64_t>(direct[0]));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(x[1]),
+              std::bit_cast<std::uint64_t>(direct[1]));
+}
+
+TEST(FactoredSystemTest, SingularSystemFlagsAndZeroes)
+{
+    const std::vector<double> flat{1.0, 2.0, 2.0, 4.0};
+    FactoredSystem system;
+    system.factor(flat.data(), 2);
+    EXPECT_TRUE(system.singular());
+    std::vector<double> x{7.0, 7.0};
+    const std::vector<double> b{1.0, 2.0};
+    system.solve(b.data(), x.data());
+    EXPECT_EQ(x[0], 0.0);
+    EXPECT_EQ(x[1], 0.0);
+}
+
+TEST(FactoredSystemTest, SolveInPlaceAliasesRhs)
+{
+    const Matrix a = Matrix::fromRows({{2, 1}, {1, 3}});
+    const std::vector<double> flat{2.0, 1.0, 1.0, 3.0};
+    FactoredSystem system;
+    system.factor(flat.data(), 2);
+    std::vector<double> x{5.0, 10.0};
+    system.solve(x.data(), x.data());
+    const std::vector<double> direct =
+        solveLinearSystem(a, {5.0, 10.0});
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(x[0]),
+              std::bit_cast<std::uint64_t>(direct[0]));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(x[1]),
+              std::bit_cast<std::uint64_t>(direct[1]));
+}
 
 // --------------------------------------------------------------- Polyfit
 
