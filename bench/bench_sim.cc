@@ -19,6 +19,9 @@
  *   --functions N / --intervals N   workload size (default 64 x 120)
  *   --repeats R                     timed runs per core (default 5)
  *   --threads N                     shard timed runs across N threads
+ *   --shards N                      worker threads for the sharded-
+ *                                   engine row's multi-worker run
+ *                                   (default 4)
  *   --json PATH                     output path (default BENCH_sim.json)
  *   --smoke                         tiny workload + correctness gates:
  *                                   exits non-zero if the cores
@@ -26,9 +29,11 @@
  *                                   allocates. Absolute timings are
  *                                   NOT gated (CI noise).
  *   --baseline PATH                 also gate on the committed
- *                                   BENCH_sim.json at PATH: the
- *                                   measured live/legacy speedup must
- *                                   stay within 2% of its
+ *                                   BENCH_sim.json at PATH. Each gate
+ *                                   is named on its FAIL line:
+ *                                   [speedup ratio] -- the measured
+ *                                   live/legacy speedup must stay
+ *                                   within 2% of its
  *                                   speedup_vs_legacy (best of up to
  *                                   5 measurement rounds; contention
  *                                   only ever lowers the ratio, so
@@ -39,6 +44,18 @@
  *                                   this ratio is a machine-
  *                                   independent ceiling on what the
  *                                   boundary may cost.
+ *                                   [metrics digest] -- the sharded
+ *                                   engine's metrics digest (computed
+ *                                   on a FIXED workload geometry,
+ *                                   independent of --smoke and
+ *                                   --functions) must equal the
+ *                                   committed one exactly; it is
+ *                                   machine-independent by the
+ *                                   sharded determinism contract.
+ *
+ * The sharded row always self-gates: the digest of a 1-worker run and
+ * an N-worker run of the sharded engine must be identical, or the
+ * bench exits non-zero.
  */
 
 #include <algorithm>
@@ -58,8 +75,11 @@
 
 #include "common/rng.hh"
 #include "common/units.hh"
+#include "core/icebreaker.hh"
+#include "harness/baseline_gate.hh"
 #include "legacy_sim.hh"
 #include "policies/openwhisk_policy.hh"
+#include "sim/sharded_simulator.hh"
 #include "sim/simulator.hh"
 
 // ---------------------------------------------------------------------------
@@ -106,6 +126,7 @@ struct BenchConfig
     std::size_t num_intervals = 120; // 2 hours of 1-minute slots
     std::size_t repeats = 5;
     std::size_t threads = 1;
+    std::size_t shards = 4; //!< workers in the sharded row's multi run
     std::string json_path = "BENCH_sim.json";
     std::string baseline_path;
     bool smoke = false;
@@ -292,6 +313,36 @@ runLive(const BenchWorkload &w, const sim::SimCapacityHints &hints = {})
     return sim.run();
 }
 
+// ------------------------------------------------------- sharded row
+//
+// The sharded-engine row runs IceBreaker (the paper scheme, and a
+// shardCompatible one, so the inter-barrier phases actually execute
+// concurrently) on a FIXED geometry, independent of --smoke and
+// --functions: the metrics digest it reports must stay comparable
+// across every invocation that ever wrote a baseline file.
+
+constexpr std::size_t kShardedFunctions = 32;
+constexpr std::size_t kShardedIntervals = 36;
+
+sim::SimulationMetrics
+runSharded(const BenchWorkload &w, std::size_t workers)
+{
+    core::IceBreakerPolicy policy;
+    sim::SimulatorOptions options;
+    options.shards = workers;
+    return sim::runSimulation(w.tr, w.profiles, w.cluster, policy,
+                              options);
+}
+
+std::string
+digestHex(std::uint64_t digest)
+{
+    char buffer[20];
+    std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                  static_cast<unsigned long long>(digest));
+    return buffer;
+}
+
 // --------------------------------------------------------------- timing
 
 struct CoreTiming
@@ -360,11 +411,25 @@ timeCore(RunFn &&run_fn, std::size_t repeats, std::size_t threads,
 
 // ----------------------------------------------------------------- json
 
+/** The sharded-engine row of the JSON report. */
+struct ShardedRow
+{
+    std::size_t logical_cells = 0;
+    std::size_t workers = 0;       //!< the multi run's worker count
+    std::uint64_t events = 0;      //!< events of one sharded run
+    double events_per_sec_single = 0.0;
+    double events_per_sec_multi = 0.0;
+    double intra_run_speedup = 0.0;
+    std::string metrics_digest;    //!< identical for every worker count
+    unsigned host_cpus = 0;        //!< speedup context: cores available
+};
+
 void
 writeJson(const BenchConfig &cfg, std::uint64_t events,
           std::uint64_t invocations, const CoreTiming &legacy,
           const CoreTiming &live, bool agree, long long calib_allocs,
-          long long hinted_allocs, const sim::EventLoopStats &stats)
+          long long hinted_allocs, const sim::EventLoopStats &stats,
+          const ShardedRow &sharded)
 {
     std::ofstream out(cfg.json_path);
     out << "{\n";
@@ -390,6 +455,19 @@ writeJson(const BenchConfig &cfg, std::uint64_t events,
         << static_cast<double>(hinted_allocs) /
             static_cast<double>(invocations)
         << "},\n";
+    out << "  \"sharded\": {\"scheme\": \"icebreaker\""
+        << ", \"functions\": " << kShardedFunctions
+        << ", \"intervals\": " << kShardedIntervals
+        << ", \"logical_cells\": " << sharded.logical_cells
+        << ", \"workers\": " << sharded.workers
+        << ", \"events\": " << sharded.events
+        << ", \"events_per_sec_single\": "
+        << sharded.events_per_sec_single
+        << ", \"events_per_sec_multi\": "
+        << sharded.events_per_sec_multi
+        << ", \"intra_run_speedup\": " << sharded.intra_run_speedup
+        << ", \"metrics_digest\": \"" << sharded.metrics_digest << "\""
+        << ", \"host_cpus\": " << sharded.host_cpus << "},\n";
     out << "  \"event_loop\": {\"popped_total\": " << stats.totalPopped()
         << ", \"stale_expiry_events\": " << stats.stale_expiry_events
         << ", \"stale_evict_entries\": " << stats.stale_evict_entries
@@ -403,12 +481,9 @@ writeJson(const BenchConfig &cfg, std::uint64_t events,
     out << "}\n";
 }
 
-/**
- * The speedup_vs_legacy field of a committed BENCH_sim.json. A flat
- * string scan is enough for a file this bench writes itself.
- */
-double
-readBaselineSpeedup(const std::string &path)
+/** Whole baseline file as a string; exits with a message if absent. */
+std::string
+readBaselineFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in) {
@@ -416,17 +491,8 @@ readBaselineSpeedup(const std::string &path)
                      path.c_str());
         std::exit(1);
     }
-    std::string text((std::istreambuf_iterator<char>(in)),
-                     std::istreambuf_iterator<char>());
-    const std::string key = "\"speedup_vs_legacy\":";
-    const std::size_t pos = text.find(key);
-    if (pos == std::string::npos) {
-        std::fprintf(stderr,
-                     "bench_sim: no speedup_vs_legacy in %s\n",
-                     path.c_str());
-        std::exit(1);
-    }
-    return std::strtod(text.c_str() + pos + key.size(), nullptr);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
 }
 
 [[noreturn]] void
@@ -434,7 +500,7 @@ usage(int status)
 {
     (status == 0 ? std::cout : std::cerr)
         << "usage: bench_sim [--functions N] [--intervals N]\n"
-           "                 [--repeats R] [--threads N]\n"
+           "                 [--repeats R] [--threads N] [--shards N]\n"
            "                 [--json PATH] [--smoke]\n"
            "                 [--baseline PATH]\n";
     std::exit(status);
@@ -473,6 +539,8 @@ parseArgs(int argc, char **argv)
             cfg.repeats = count();
         } else if (arg == "--threads") {
             cfg.threads = count();
+        } else if (arg == "--shards") {
+            cfg.shards = count();
         } else if (arg == "--json") {
             cfg.json_path = next();
         } else if (arg == "--baseline") {
@@ -574,9 +642,56 @@ main(int argc, char **argv)
                 live_timing.events_per_sec, live_timing.ns_per_event);
     std::printf("speedup vs legacy: %.2fx\n", speedup);
 
+    // ------------------------------------------------- sharded row
+    // Fixed geometry (see kSharded* above): its digest is comparable
+    // across hosts and across every bench invocation.
+    BenchConfig sharded_cfg = cfg;
+    sharded_cfg.num_functions = kShardedFunctions;
+    sharded_cfg.num_intervals = kShardedIntervals;
+    const BenchWorkload sw = buildWorkload(sharded_cfg);
+    const std::size_t shard_workers = std::max<std::size_t>(
+        2, cfg.shards);
+
+    const sim::SimulationMetrics sharded_single = runSharded(sw, 1);
+    const sim::SimulationMetrics sharded_multi =
+        runSharded(sw, shard_workers);
+    const std::uint64_t digest_single = hashMetrics(sharded_single);
+    const std::uint64_t digest_multi = hashMetrics(sharded_multi);
+    const bool sharded_agree = digest_single == digest_multi;
+
+    ShardedRow sharded;
+    sharded.logical_cells =
+        sim::ShardPlan::build(sw.tr, sw.cluster).num_cells;
+    sharded.workers = shard_workers;
+    sharded.events = sharded_single.event_loop.totalPopped();
+    sharded.metrics_digest = digestHex(digest_single);
+    sharded.host_cpus = std::thread::hardware_concurrency();
+
+    // Best-of-3 per worker count: the ratio of two minima sheds
+    // contention noise the same way the legacy/live gate does.
+    const CoreTiming sharded_1 = timeCore(
+        [&] { (void)runSharded(sw, 1); }, 3, 1, sharded.events);
+    const CoreTiming sharded_n = timeCore(
+        [&] { (void)runSharded(sw, shard_workers); }, 3, 1,
+        sharded.events);
+    sharded.events_per_sec_single = sharded_1.events_per_sec;
+    sharded.events_per_sec_multi = sharded_n.events_per_sec;
+    sharded.intra_run_speedup =
+        sharded_n.events_per_sec / sharded_1.events_per_sec;
+
+    std::printf("sharded (icebreaker, %zu cells): digest %s "
+                "(1 worker == %zu workers: %s)\n",
+                sharded.logical_cells, sharded.metrics_digest.c_str(),
+                shard_workers, sharded_agree ? "OK" : "MISMATCH");
+    std::printf("sharded: %8.0f events/sec single, %8.0f events/sec "
+                "x%zu workers (%.2fx, %u cpus)\n",
+                sharded.events_per_sec_single,
+                sharded.events_per_sec_multi, shard_workers,
+                sharded.intra_run_speedup, sharded.host_cpus);
+
     writeJson(cfg, events, invocations, legacy_timing, live_timing,
               agree, calib_allocs, hinted_allocs,
-              live_metrics.event_loop);
+              live_metrics.event_loop, sharded);
     std::printf("wrote %s\n", cfg.json_path.c_str());
 
     if (!agree) {
@@ -589,7 +704,19 @@ main(int argc, char **argv)
                      hinted_allocs);
         return 1;
     }
+    if (!sharded_agree) {
+        std::fprintf(stderr,
+                     "FAIL: [metrics digest] sharded engine diverged "
+                     "across worker counts: 1 worker %s != %zu "
+                     "workers %s\n",
+                     digestHex(digest_single).c_str(), shard_workers,
+                     digestHex(digest_multi).c_str());
+        return 1;
+    }
     if (!cfg.baseline_path.empty()) {
+        const std::string baseline =
+            readBaselineFile(cfg.baseline_path);
+
         // Ratio-of-rates on the same machine in the same process:
         // machine speed cancels out, leaving only what the live core
         // gained or lost relative to the frozen control since the
@@ -599,8 +726,15 @@ main(int argc, char **argv)
         // the gate re-measures and keeps the best round: noise is
         // shed, while a genuine regression depresses every round and
         // still fails.
-        const double base = readBaselineSpeedup(cfg.baseline_path);
-        const double floor = base * 0.98;
+        const std::optional<double> base = harness::findJsonNumber(
+            baseline, "speedup_vs_legacy");
+        if (!base) {
+            std::fprintf(stderr,
+                         "bench_sim: no speedup_vs_legacy in %s\n",
+                         cfg.baseline_path.c_str());
+            return 1;
+        }
+        const double floor = *base * 0.98;
         double best = speedup;
         for (int round = 2; best < floor && round <= 5; ++round) {
             const CoreTiming lt = timeCore([&] { (void)runLegacy(w); },
@@ -614,14 +748,33 @@ main(int argc, char **argv)
                         again);
             best = std::max(best, again);
         }
-        std::printf("baseline speedup %.5f -> floor %.5f (-2%%), "
-                    "measured %.5f\n",
-                    base, floor, best);
-        if (best < floor) {
-            std::fprintf(stderr,
-                         "FAIL: speedup vs legacy regressed more than "
-                         "2%% below the committed baseline\n");
+        const harness::GateResult ratio_gate = harness::gateRatio(
+            "speedup ratio", best, *base, 0.02);
+        std::printf("%s\n", ratio_gate.message.c_str());
+        if (!ratio_gate.ok) {
+            std::fprintf(stderr, "FAIL: %s\n",
+                         ratio_gate.message.c_str());
             return 1;
+        }
+
+        // The sharded digest is machine-independent, so it gates
+        // exactly — but only against baselines that carry one (older
+        // baseline files predate the sharded engine).
+        const std::optional<std::string> committed =
+            harness::findJsonString(baseline, "metrics_digest");
+        if (committed) {
+            const harness::GateResult digest_gate = harness::gateDigest(
+                "metrics digest", sharded.metrics_digest, *committed);
+            std::printf("%s\n", digest_gate.message.c_str());
+            if (!digest_gate.ok) {
+                std::fprintf(stderr, "FAIL: %s\n",
+                             digest_gate.message.c_str());
+                return 1;
+            }
+        } else {
+            std::printf("[metrics digest] baseline %s has no sharded "
+                        "digest; gate skipped\n",
+                        cfg.baseline_path.c_str());
         }
     }
     return 0;

@@ -43,6 +43,12 @@ usage(const char *prog, int status)
         << "usage: " << prog << " [options]\n"
         << "  --threads N   worker threads (0 = hardware concurrency; "
            "default 0)\n"
+        << "  --shards N    intra-run shard workers (0 = classic "
+           "engine; default 0).\n"
+        << "                Sharded output is identical for every "
+           "N >= 1 but differs\n"
+        << "                from the classic engine (partitioned "
+           "memory model)\n"
         << "  --seeds S     base seed for derived per-run RNG streams\n"
         << "  --repeats R   seed replicates per experiment cell "
            "(default 1)\n"
@@ -113,6 +119,10 @@ parseBenchOptions(int argc, char **argv)
             options.threads =
                 static_cast<std::size_t>(parseUint(prog, arg,
                                                    value(arg)));
+        } else if (arg == "--shards") {
+            options.shards =
+                static_cast<std::size_t>(parseUint(prog, arg,
+                                                   value(arg)));
         } else if (arg == "--repeats") {
             options.repeats =
                 static_cast<std::size_t>(parseUint(prog, arg,
@@ -144,6 +154,7 @@ runnerOptions(const BenchOptions &options)
 {
     harness::RunnerOptions ro;
     ro.threads = options.threads;
+    ro.shards = options.shards;
     ro.repeats = options.repeats;
     ro.base_seed = options.base_seed;
     if (options.observation.enabled())
@@ -230,8 +241,10 @@ runGridComparison(const std::string &title,
     for (const ComparisonScheme &scheme : schemes)
         keys.push_back(scheme.key);
 
-    const std::vector<harness::RunSpec> grid = harness::buildGrid(
+    std::vector<harness::RunSpec> grid = harness::buildGrid(
         keys, workload, points, options.base_seed, options.repeats);
+    for (harness::RunSpec &spec : grid)
+        spec.shards = options.shards;
     harness::ExperimentRunner runner(options.threads);
     if (options.observation.enabled())
         runner.setObservation(options.observation);

@@ -44,6 +44,9 @@ iceb::harness::Workload sweepWorkload();
  * Common bench CLI options.
  *
  *   --threads N       worker threads (0 = hardware concurrency, default)
+ *   --shards N        intra-run shard workers (0 = classic engine,
+ *                     default; sharded results are identical for any
+ *                     N >= 1 but differ from the classic engine)
  *   --seeds S         base seed for the run's derived RNG streams
  *   --repeats R       seed replicates per cell (mean +- stddev columns)
  *   --smoke           shrunken workload for CI smoke runs
@@ -54,6 +57,7 @@ iceb::harness::Workload sweepWorkload();
 struct BenchOptions
 {
     std::size_t threads = 0;
+    std::size_t shards = 0;
     std::size_t repeats = 1;
     std::uint64_t base_seed = iceb::harness::kDefaultBaseSeed;
     bool smoke = false;

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Golden-file check for bench_sim's JSON output schema.
+
+Runs ``bench_sim --shards 2 --smoke --json <tmp>`` and compares the
+sorted set of dot-notation key paths in the produced JSON against the
+committed golden file (tests/golden/bench_sim_schema.txt). Values are
+deliberately ignored -- timings are machine-dependent -- but a key
+that appears, disappears or moves is a schema change that downstream
+consumers (the --baseline gate, CI dashboards) must hear about, so it
+must be made consciously by re-running with --update.
+
+Usage:
+    check_bench_schema.py PATH_TO_BENCH_SIM [--update]
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+GOLDEN = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "tests"
+    / "golden"
+    / "bench_sim_schema.txt"
+)
+
+
+def key_paths(value, prefix=""):
+    """Sorted dot-notation paths of every key in a JSON document."""
+    paths = []
+    if isinstance(value, dict):
+        for key, child in value.items():
+            path = f"{prefix}.{key}" if prefix else key
+            paths.append(path)
+            paths.extend(key_paths(child, path))
+    elif isinstance(value, list):
+        # Element schema only; indices are not part of the shape.
+        for child in value:
+            paths.extend(key_paths(child, prefix + "[]"))
+    return sorted(set(paths))
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench = argv[1]
+    update = "--update" in argv[2:]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out_path = pathlib.Path(tmp) / "bench_sim.json"
+        cmd = [bench, "--shards", "2", "--smoke", "--json", str(out_path)]
+        result = subprocess.run(cmd, capture_output=True, text=True)
+        if result.returncode != 0:
+            print(result.stdout, file=sys.stderr)
+            print(result.stderr, file=sys.stderr)
+            print(f"FAIL: {' '.join(cmd)} exited {result.returncode}",
+                  file=sys.stderr)
+            return 1
+        document = json.loads(out_path.read_text())
+
+    actual = key_paths(document)
+    if update:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text("\n".join(actual) + "\n")
+        print(f"updated {GOLDEN} ({len(actual)} key paths)")
+        return 0
+
+    if not GOLDEN.exists():
+        print(f"FAIL: golden file {GOLDEN} missing; run with --update",
+              file=sys.stderr)
+        return 1
+    expected = GOLDEN.read_text().split()
+    if actual != expected:
+        missing = sorted(set(expected) - set(actual))
+        extra = sorted(set(actual) - set(expected))
+        for path in missing:
+            print(f"FAIL: key path disappeared: {path}", file=sys.stderr)
+        for path in extra:
+            print(f"FAIL: new key path not in golden: {path}",
+                  file=sys.stderr)
+        print(f"(update consciously with: {argv[0]} {bench} --update)",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {len(actual)} key paths match {GOLDEN.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -70,6 +70,7 @@ ExperimentRunner::run(const std::vector<RunSpec> &grid) const
                 registry.make(spec.scheme);
             sim::SimulatorOptions options = sim::SimulatorOptions::forRun(
                 spec.base_seed, spec.run_index);
+            options.shards = spec.shards;
             if (observe) {
                 recorders[i] =
                     std::make_unique<obs::RunRecorder>(obs_config);
@@ -157,8 +158,10 @@ runAllSchemesParallel(const Workload &workload,
         schemes.push_back(schemeKey(scheme));
 
     const std::vector<SweepPoint> points = {{"", cluster}};
-    const std::vector<RunSpec> grid = buildGrid(
+    std::vector<RunSpec> grid = buildGrid(
         schemes, workload, points, options.base_seed, options.repeats);
+    for (RunSpec &spec : grid)
+        spec.shards = options.shards;
     ExperimentRunner runner(options.threads);
     if (options.observation != nullptr)
         runner.setObservation(*options.observation);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/recorder.hh"
+#include "sim/sharded_simulator.hh"
 
 namespace iceb::serve
 {
@@ -25,9 +26,10 @@ SimDriver::SimDriver(
 sim::SimulationMetrics
 SimDriver::run()
 {
-    sim::Simulator simulator(trace_, profiles_, cluster_, engine_,
-                             options_);
-    return simulator.run();
+    // runSimulation dispatches on options_.shards: the classic
+    // engine at 0, the sharded engine otherwise.
+    return sim::runSimulation(trace_, profiles_, cluster_, engine_,
+                              options_);
 }
 
 ReplayDriver::ReplayDriver(
@@ -56,58 +58,93 @@ ReplayDriver::run()
         sim_options.recorder = &*own_recorder;
     }
 
-    sim::Simulator simulator(trace_, profiles_, cluster_, engine_,
-                             sim_options);
-    simulator.start();
-
     std::optional<obs::ProbeCsvStreamer> streamer;
-    if (options_.probe_csv != nullptr &&
-        sim_options.recorder != nullptr &&
-        sim_options.recorder->probeTable() != nullptr) {
-        streamer.emplace(*options_.probe_csv, options_.run_label,
-                         *sim_options.recorder->probeTable());
-    }
+    const auto attachStreamer = [&] {
+        if (options_.probe_csv != nullptr &&
+            sim_options.recorder != nullptr &&
+            sim_options.recorder->probeTable() != nullptr) {
+            streamer.emplace(*options_.probe_csv, options_.run_label,
+                             *sim_options.recorder->probeTable());
+        }
+    };
 
     using Clock = std::chrono::steady_clock;
     const Clock::time_point wall_start = Clock::now();
     const bool paced = options_.acceleration > 0.0;
 
-    std::size_t intervals_seen = 0;
-    bool more = true;
-    while (more) {
-        if (paced) {
-            if (const std::optional<TimeMs> next =
-                    simulator.nextEventTime()) {
-                const auto offset =
-                    std::chrono::duration<double, std::milli>(
-                        static_cast<double>(*next) /
-                        options_.acceleration);
-                std::this_thread::sleep_until(
-                    wall_start +
-                    std::chrono::duration_cast<Clock::duration>(
-                        offset));
-            }
-        }
-        more = simulator.step();
+    const auto sleepUntilSimTime = [&](TimeMs sim_time) {
+        const auto offset = std::chrono::duration<double, std::milli>(
+            static_cast<double>(sim_time) / options_.acceleration);
+        std::this_thread::sleep_until(
+            wall_start +
+            std::chrono::duration_cast<Clock::duration>(offset));
+    };
 
-        // An interval boundary was processed: stream its probes and
-        // report progress before touching the next unit of work.
-        while (intervals_seen < simulator.intervalsStarted()) {
+    const auto reportIntervals = [&](std::size_t &seen,
+                                     std::size_t started,
+                                     TimeMs sim_now) {
+        while (seen < started) {
             if (streamer)
                 streamer->flush();
             if (options_.on_interval) {
                 ReplayProgress progress;
-                progress.interval =
-                    static_cast<IntervalIndex>(intervals_seen);
-                progress.sim_time_ms = simulator.now();
+                progress.interval = static_cast<IntervalIndex>(seen);
+                progress.sim_time_ms = sim_now;
                 progress.decisions = engine_.decisionCount();
                 options_.on_interval(progress);
             }
-            ++intervals_seen;
+            ++seen;
         }
-    }
+    };
 
-    sim::SimulationMetrics metrics = simulator.finish();
+    sim::SimulationMetrics metrics;
+    if (sim_options.shards > 0) {
+        // Sharded replay paces at decision-interval granularity: the
+        // sharded engine's external step is the barrier, not the
+        // single event.
+        sim::ShardedSimulator simulator(trace_, profiles_, cluster_,
+                                        engine_, sim_options);
+        simulator.start();
+        attachStreamer();
+
+        std::size_t intervals_seen = 0;
+        bool more = true;
+        while (more) {
+            if (paced) {
+                if (const std::optional<TimeMs> next =
+                        simulator.nextBarrierTime())
+                    sleepUntilSimTime(*next);
+            }
+            more = simulator.advanceInterval();
+            reportIntervals(intervals_seen,
+                            simulator.intervalsStarted(),
+                            simulator.now());
+        }
+        metrics = simulator.finish();
+    } else {
+        sim::Simulator simulator(trace_, profiles_, cluster_, engine_,
+                                 sim_options);
+        simulator.start();
+        attachStreamer();
+
+        std::size_t intervals_seen = 0;
+        bool more = true;
+        while (more) {
+            if (paced) {
+                if (const std::optional<TimeMs> next =
+                        simulator.nextEventTime())
+                    sleepUntilSimTime(*next);
+            }
+            more = simulator.step();
+
+            // An interval boundary was processed: stream its probes
+            // and report progress before the next unit of work.
+            reportIntervals(intervals_seen,
+                            simulator.intervalsStarted(),
+                            simulator.now());
+        }
+        metrics = simulator.finish();
+    }
     if (streamer)
         streamer->flush();
 

@@ -1,0 +1,706 @@
+#include "sim/sharded_simulator.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "obs/probes.hh"
+#include "obs/recorder.hh"
+
+namespace iceb::sim
+{
+
+ShardPlan
+ShardPlan::build(const trace::Trace &tr, const ClusterConfig &config,
+                 std::size_t requested_cells)
+{
+    // Every cell must own at least one server of EVERY populated tier
+    // — a cell missing a tier would deny its functions that tier's
+    // speed entirely and distort the heterogeneous placement the
+    // policies reason about — so the cell count is clamped to the
+    // smallest non-empty tier. Cells beyond the function count would
+    // hold servers no function could ever reach.
+    std::size_t smallest_tier = 0;
+    for (const TierSpec &tier : config.tiers) {
+        if (tier.server_count == 0)
+            continue;
+        smallest_tier = smallest_tier == 0
+            ? tier.server_count
+            : std::min(smallest_tier, tier.server_count);
+    }
+    ICEB_ASSERT(smallest_tier > 0, "cluster has no servers");
+
+    std::size_t cells =
+        requested_cells == 0 ? kDefaultCells : requested_cells;
+    cells = std::min(cells, smallest_tier);
+    cells = std::min(cells, std::max<std::size_t>(1, tr.numFunctions()));
+    cells = std::max<std::size_t>(1, cells);
+
+    ShardPlan plan;
+    plan.num_cells = cells;
+    return plan;
+}
+
+ClusterConfig
+ShardPlan::cellConfig(const ClusterConfig &config, std::size_t cell) const
+{
+    ICEB_ASSERT(cell < num_cells, "cell index out of range");
+    ClusterConfig out = config;
+    out.name = config.name + "/cell" + std::to_string(cell);
+    for (TierSpec &tier : out.tiers) {
+        const std::size_t base = tier.server_count / num_cells;
+        const std::size_t extra =
+            cell < tier.server_count % num_cells ? 1 : 0;
+        tier.server_count = base + extra;
+    }
+    return out;
+}
+
+/**
+ * Internal machinery of the sharded engine. A named namespace (not an
+ * anonymous one) because ShardedSimulator::Impl — an externally
+ * visible type — holds members of these types.
+ */
+namespace shard_impl
+{
+
+/**
+ * The per-cell stand-in policy. Mid-interval hooks forward to the
+ * real policy (these are the per-function callbacks a shardCompatible
+ * policy promises are safe to run concurrently across cells); the
+ * interval hooks are swallowed — the coordinator fires the real
+ * policy's interval hooks exactly once per barrier against the global
+ * facade, reading each cell's open-interval arrival counts directly
+ * through Simulator::observedCounts() before the cell's tick delivers
+ * (and resets) them.
+ *
+ * Deliberately not an OfflinePolicy: the per-cell Simulator therefore
+ * never grants its cell-local OracleContext; the coordinator grants
+ * the global one itself.
+ */
+class CellAdapter final : public Policy
+{
+  public:
+    explicit CellAdapter(Policy &inner) : inner_(inner) {}
+
+    const char *name() const override { return inner_.name(); }
+
+    void initialize(const SimContext &ctx) override
+    {
+        // Store the cell context for ourselves only; the coordinator
+        // initialises the real policy once, with the global context.
+        Policy::initialize(ctx);
+    }
+
+    void onIntervalObserved(const IntervalObservation &closed) override
+    {
+        // Swallowed: the coordinator already aggregated these counts
+        // at the barrier, before this cell's tick was processed.
+        (void)closed;
+    }
+
+    void onIntervalStart(IntervalIndex interval,
+                         WarmupInterface &cluster) override
+    {
+        (void)interval;
+        (void)cluster;
+    }
+
+    void onExecutionStart(FunctionId fn, Tier tier, bool cold,
+                          TimeMs now) override
+    {
+        inner_.onExecutionStart(fn, tier, cold, now);
+    }
+
+    TimeMs keepAliveAfterExecutionMs(FunctionId fn, Tier tier,
+                                     TimeMs now) override
+    {
+        return inner_.keepAliveAfterExecutionMs(fn, tier, now);
+    }
+
+    std::array<Tier, 2> coldPlacementOrder(FunctionId fn) override
+    {
+        return inner_.coldPlacementOrder(fn);
+    }
+
+    double evictionPriority(FunctionId fn, Tier tier, TimeMs last_used,
+                            TimeMs now) override
+    {
+        return inner_.evictionPriority(fn, tier, last_used, now);
+    }
+
+    void onWarmupWasted(FunctionId fn, Tier tier, TimeMs now) override
+    {
+        inner_.onWarmupWasted(fn, tier, now);
+    }
+
+    void onEviction(FunctionId fn, Tier tier, TimeMs now) override
+    {
+        inner_.onEviction(fn, tier, now);
+    }
+
+    TimeMs overheadMs() const override { return inner_.overheadMs(); }
+
+  private:
+    Policy &inner_;
+};
+
+/**
+ * A tiny persistent worker pool for the per-interval cell phases.
+ * run() hands out cell indices via an atomic counter — which worker
+ * executes which cell can never affect results, because cells share
+ * nothing between barriers. The calling thread participates, so a
+ * pool of N lanes spawns N - 1 threads.
+ */
+class CellPool
+{
+  public:
+    explicit CellPool(std::size_t lanes)
+    {
+        const std::size_t spawn = lanes > 0 ? lanes - 1 : 0;
+        threads_.reserve(spawn);
+        for (std::size_t i = 0; i < spawn; ++i)
+            threads_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~CellPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        work_cv_.notify_all();
+        for (std::thread &t : threads_)
+            t.join();
+    }
+
+    void run(std::size_t count,
+             const std::function<void(std::size_t)> &fn)
+    {
+        if (count == 0)
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            job_ = &fn;
+            job_count_ = count;
+            next_.store(0, std::memory_order_relaxed);
+            active_ = threads_.size();
+            ++generation_;
+        }
+        work_cv_.notify_all();
+        claimCells();
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [this] { return active_ == 0; });
+        job_ = nullptr;
+    }
+
+  private:
+    void claimCells()
+    {
+        while (true) {
+            const std::size_t cell =
+                next_.fetch_add(1, std::memory_order_relaxed);
+            if (cell >= job_count_)
+                return;
+            (*job_)(cell);
+        }
+    }
+
+    void workerLoop()
+    {
+        std::uint64_t seen = 0;
+        while (true) {
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                work_cv_.wait(lock, [this, seen] {
+                    return stop_ || generation_ != seen;
+                });
+                if (stop_)
+                    return;
+                seen = generation_;
+            }
+            claimCells();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                --active_;
+            }
+            done_cv_.notify_all();
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(std::size_t)> *job_ = nullptr;
+    std::size_t job_count_ = 0;
+    std::atomic<std::size_t> next_{0};
+    std::size_t active_ = 0;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+    std::vector<std::thread> threads_;
+};
+
+/** One logical cell: a full Simulator over its slice of the world. */
+struct Cell
+{
+    trace::Trace trace;
+    ClusterConfig config;
+    std::unique_ptr<CellAdapter> adapter;
+    std::unique_ptr<Simulator> sim;
+
+    Cell(trace::Trace tr, ClusterConfig cfg)
+        : trace(std::move(tr)), config(std::move(cfg))
+    {
+    }
+};
+
+} // namespace shard_impl
+
+struct ShardedSimulator::Impl
+{
+    const trace::Trace &trace;
+    const std::vector<workload::FunctionProfile> &profiles;
+    const ClusterConfig &config;
+    Policy &policy;
+    SimulatorOptions options;
+
+    ShardPlan shard_plan;
+    std::vector<std::unique_ptr<shard_impl::Cell>> cells;
+
+    SimContext context;
+    OracleContext oracle_context;
+    /** Global jittered schedule, built only for OfflinePolicy runs. */
+    std::vector<std::vector<TimeMs>> oracle_schedule;
+
+    std::unique_ptr<WarmupInterface> facade;
+    std::unique_ptr<shard_impl::CellPool> pool;
+
+    obs::ProbeTable *probes = nullptr;
+
+    /** Barrier scratch: aggregated closed-interval counts. */
+    std::vector<std::uint32_t> observed;
+
+    std::size_t intervals_started = 0;
+    TimeMs now = 0;
+    bool started = false;
+    bool drained = false;
+    bool parallel = false;
+
+    Impl(const trace::Trace &tr,
+         const std::vector<workload::FunctionProfile> &prof,
+         const ClusterConfig &cfg, Policy &pol, SimulatorOptions opt)
+        : trace(tr), profiles(prof), config(cfg), policy(pol),
+          options(opt)
+    {
+    }
+
+    trace::Trace maskedTrace(std::size_t cell) const;
+    void buildOracleSchedule();
+    void runCells(const std::function<void(std::size_t)> &fn);
+    void sampleProbes(IntervalIndex interval);
+
+    ClusterState &cellCluster(FunctionId fn)
+    {
+        return cells[shard_plan.cellOf(fn)]->sim->cluster();
+    }
+};
+
+namespace
+{
+
+/**
+ * The barrier-time WarmupInterface the real policy acts through:
+ * per-function actions route to the owning cell's cluster, tier-wide
+ * occupancy signals sum over cells. A shortfall inside a cell is not
+ * spilled to other cells — a function's arrivals only ever stream in
+ * its home cell, so a container elsewhere could never serve them;
+ * cross-tier spillover (the policies' warm-with-spill idiom) still
+ * works within the cell.
+ */
+class GlobalFacade final : public WarmupInterface
+{
+  public:
+    explicit GlobalFacade(ShardedSimulator::Impl &impl) : impl_(impl) {}
+
+    std::size_t ensureWarm(FunctionId fn, Tier tier, std::size_t count,
+                           TimeMs expiry) override
+    {
+        return impl_.cellCluster(fn).ensureWarm(fn, tier, count,
+                                                expiry);
+    }
+
+    std::size_t ensureWarmEvicting(FunctionId fn, Tier tier,
+                                   std::size_t count, TimeMs expiry,
+                                   Policy &policy) override
+    {
+        return impl_.cellCluster(fn).ensureWarmEvicting(
+            fn, tier, count, expiry, policy);
+    }
+
+    void schedulePrewarm(FunctionId fn, Tier tier, TimeMs start_time,
+                         TimeMs expiry) override
+    {
+        impl_.cellCluster(fn).schedulePrewarm(fn, tier, start_time,
+                                              expiry);
+    }
+
+    MemoryMb vacantMemoryMb(Tier tier) const override
+    {
+        MemoryMb total = 0;
+        for (const auto &cell : impl_.cells)
+            total += cell->sim->cluster().vacantMemoryMb(tier);
+        return total;
+    }
+
+    MemoryMb totalMemoryMb(Tier tier) const override
+    {
+        MemoryMb total = 0;
+        for (const auto &cell : impl_.cells)
+            total += cell->sim->cluster().totalMemoryMb(tier);
+        return total;
+    }
+
+    std::size_t warmCount(FunctionId fn, Tier tier) const override
+    {
+        return impl_.cellCluster(fn).warmCount(fn, tier);
+    }
+
+    TimeMs now() const override { return impl_.now; }
+
+  private:
+    ShardedSimulator::Impl &impl_;
+};
+
+} // namespace
+
+trace::Trace
+ShardedSimulator::Impl::maskedTrace(std::size_t cell) const
+{
+    // Every cell's trace carries ALL functions (so global FunctionIds
+    // stay dense and per-function metrics line up for the merge) but
+    // only the owned functions keep their concurrency series; foreign
+    // functions get an all-zero series (Trace requires full-length
+    // vectors) and generate no arrivals.
+    trace::Trace out(trace.numIntervals(), trace.intervalMs());
+    for (FunctionId fn = 0; fn < trace.numFunctions(); ++fn) {
+        trace::FunctionSeries series = trace.function(fn);
+        if (shard_plan.cellOf(fn) != cell)
+            series.concurrency.assign(trace.numIntervals(), 0);
+        out.addFunction(std::move(series));
+    }
+    return out;
+}
+
+void
+ShardedSimulator::Impl::buildOracleSchedule()
+{
+    // Twin of the per-function half of Simulator::buildArrivalSchedule
+    // (keep in sync): the RNG stream is forked per function from the
+    // same seed, so a function's jittered times are identical here, in
+    // its cell's schedule, and in the classic engine.
+    Rng master(options.seed);
+    const TimeMs interval_ms = trace.intervalMs();
+    oracle_schedule.resize(trace.numFunctions());
+    std::vector<TimeMs> times;
+    for (FunctionId fn = 0; fn < trace.numFunctions(); ++fn) {
+        Rng rng = master.fork(fn);
+        const auto &series = trace.function(fn);
+        auto &schedule = oracle_schedule[fn];
+        schedule.reserve(series.totalInvocations());
+        for (std::size_t iv = 0; iv < series.concurrency.size(); ++iv) {
+            const std::uint32_t count = series.concurrency[iv];
+            if (count == 0)
+                continue;
+            const TimeMs base = static_cast<TimeMs>(iv) * interval_ms;
+            const TimeMs span =
+                std::min<TimeMs>(5000, interval_ms - 1);
+            const TimeMs offset = static_cast<TimeMs>(
+                rng.uniformInt(0, interval_ms - 1 - span));
+            times.clear();
+            for (std::uint32_t i = 0; i < count; ++i) {
+                times.push_back(base + offset +
+                                static_cast<TimeMs>(
+                                    rng.uniformInt(0, span)));
+            }
+            std::sort(times.begin(), times.end());
+            schedule.insert(schedule.end(), times.begin(), times.end());
+        }
+    }
+}
+
+void
+ShardedSimulator::Impl::runCells(
+    const std::function<void(std::size_t)> &fn)
+{
+    if (pool != nullptr) {
+        pool->run(cells.size(), fn);
+        return;
+    }
+    for (std::size_t cell = 0; cell < cells.size(); ++cell)
+        fn(cell);
+}
+
+void
+ShardedSimulator::Impl::sampleProbes(IntervalIndex interval)
+{
+    obs::IntervalSample sample;
+    sample.interval = static_cast<std::uint32_t>(interval);
+    sample.time = now;
+    std::array<std::int64_t, kNumTiers> idle{};
+    std::array<std::int64_t, kNumTiers> setup{};
+    std::int64_t waiting = 0;
+    for (const auto &cell : cells) {
+        std::array<std::int64_t, kNumTiers> cell_idle{};
+        std::array<std::int64_t, kNumTiers> cell_setup{};
+        cell->sim->cluster().sampleOccupancy(cell_idle, cell_setup);
+        const SimulationMetrics &accrued = cell->sim->accruedMetrics();
+        for (std::size_t t = 0; t < kNumTiers; ++t) {
+            const auto tier = static_cast<Tier>(t);
+            idle[t] += cell_idle[t];
+            setup[t] += cell_setup[t];
+            sample.total_mb[t] +=
+                cell->sim->cluster().totalMemoryMb(tier);
+            sample.used_mb[t] +=
+                cell->sim->cluster().totalMemoryMb(tier) -
+                cell->sim->cluster().vacantMemoryMb(tier);
+            sample.keep_alive_cost[t] +=
+                accrued.keep_alive[t].totalCost();
+        }
+        waiting += static_cast<std::int64_t>(cell->sim->waitingCount());
+    }
+    sample.idle_warm = idle;
+    sample.in_setup = setup;
+    sample.wait_queue = waiting;
+    probes->addIntervalSample(sample);
+}
+
+ShardedSimulator::ShardedSimulator(
+    const trace::Trace &tr,
+    const std::vector<workload::FunctionProfile> &profiles,
+    const ClusterConfig &config, Policy &policy, SimulatorOptions options)
+    : impl_(std::make_unique<Impl>(tr, profiles, config, policy,
+                                   options))
+{
+    ICEB_ASSERT(profiles.size() == tr.numFunctions(),
+                "one profile per trace function required");
+
+    Impl &impl = *impl_;
+    impl.shard_plan = ShardPlan::build(tr, config, options.cells);
+    const std::size_t num_cells = impl.shard_plan.num_cells;
+
+    SimulatorOptions cell_options = options;
+    cell_options.recorder = nullptr; // cells never observe
+    cell_options.shards = 0;
+    cell_options.cells = 0;
+
+    impl.cells.reserve(num_cells);
+    for (std::size_t cell = 0; cell < num_cells; ++cell) {
+        auto owned = std::make_unique<shard_impl::Cell>(
+            impl.maskedTrace(cell),
+            impl.shard_plan.cellConfig(config, cell));
+        owned->adapter =
+            std::make_unique<shard_impl::CellAdapter>(policy);
+        owned->sim = std::make_unique<Simulator>(
+            owned->trace, profiles, owned->config, *owned->adapter,
+            cell_options);
+        impl.cells.push_back(std::move(owned));
+    }
+
+    impl.context.num_functions = tr.numFunctions();
+    impl.context.profiles = &profiles;
+    impl.context.cluster = &config; // the global composition
+    impl.context.interval_ms = tr.intervalMs();
+    impl.context.recorder = options.recorder;
+
+    impl.facade = std::make_unique<GlobalFacade>(impl);
+    impl.observed.assign(tr.numFunctions(), 0);
+
+    impl.parallel = policy.shardCompatible() && options.shards > 1 &&
+        num_cells > 1;
+    if (impl.parallel) {
+        impl.pool = std::make_unique<shard_impl::CellPool>(
+            std::min(options.shards, num_cells));
+    }
+
+    if (options.recorder != nullptr) {
+        impl.probes = options.recorder->probeTable();
+        if (impl.probes != nullptr)
+            impl.probes->reserve(tr.numIntervals(), tr.numFunctions());
+        // Lifecycle tracing is not wired into the cells: a sharded
+        // run's Chrome trace carries probe counters only.
+    }
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+void
+ShardedSimulator::start()
+{
+    Impl &impl = *impl_;
+    ICEB_ASSERT(!impl.started, "ShardedSimulator::start() called twice");
+    impl.started = true;
+
+    impl.policy.initialize(impl.context);
+    if (auto *offline = dynamic_cast<OfflinePolicy *>(&impl.policy)) {
+        impl.buildOracleSchedule();
+        impl.oracle_context.trace = &impl.trace;
+        impl.oracle_context.arrival_schedule = &impl.oracle_schedule;
+        offline->initializeOracle(impl.oracle_context);
+    }
+
+    for (const auto &cell : impl.cells)
+        cell->sim->start();
+}
+
+bool
+ShardedSimulator::advanceInterval()
+{
+    Impl &impl = *impl_;
+    ICEB_ASSERT(impl.started, "advanceInterval() before start()");
+    if (impl.drained)
+        return false;
+
+    const std::size_t num_intervals = impl.trace.numIntervals();
+    if (impl.intervals_started == num_intervals) {
+        // Trailing completions / expiries past the horizon; no policy
+        // interval hooks remain.
+        impl.runCells([&impl](std::size_t cell) {
+            while (impl.cells[cell]->sim->step()) {
+            }
+        });
+        impl.drained = true;
+        return false;
+    }
+
+    const std::size_t iv = impl.intervals_started;
+    const TimeMs interval_ms = impl.trace.intervalMs();
+    impl.now = static_cast<TimeMs>(iv) * interval_ms;
+
+    // Serial barrier, deterministic cell order. The previous body
+    // phase left every cell standing just before its own interval
+    // tick (the tick at T_iv is its next unprocessed event). The
+    // policy must act in THIS state — before any cell's tick reserves
+    // the interval's arrival-window sequence numbers — so that, as in
+    // the classic engine's tick handler (policy first, window after),
+    // a warm-up completing at exactly an arrival's timestamp sorts
+    // before the arrival.
+    for (const auto &cell : impl.cells)
+        cell->sim->cluster().setNow(impl.now);
+
+    // Probe the aggregate BEFORE the policy acts, like the classic
+    // engine: the row shows the state the decision saw.
+    if (impl.probes != nullptr)
+        impl.sampleProbes(static_cast<IntervalIndex>(iv));
+
+    // The real policy's interval hooks fire exactly once, against the
+    // aggregated observation and the global facade. Each cell's
+    // open-interval counts still hold the closed interval's arrivals
+    // (its tick has not delivered and reset them yet); only the home
+    // cell of a function ever counts it, so aggregation is a sum.
+    if (iv > 0) {
+        std::fill(impl.observed.begin(), impl.observed.end(), 0u);
+        for (const auto &cell : impl.cells) {
+            const auto &counts = cell->sim->observedCounts();
+            for (std::size_t fn = 0; fn < impl.observed.size(); ++fn)
+                impl.observed[fn] += counts[fn];
+        }
+        IntervalObservation closed;
+        closed.interval = static_cast<IntervalIndex>(iv - 1);
+        closed.arrivals = impl.observed.data();
+        closed.num_functions = impl.observed.size();
+        impl.policy.onIntervalObserved(closed);
+    }
+    impl.policy.onIntervalStart(static_cast<IntervalIndex>(iv),
+                                *impl.facade);
+
+    // Now advance every cell through its tick: the adapter swallows
+    // the interval hooks, and the tick opens the arrival window with
+    // sequence numbers above everything the policy just pushed.
+    for (const auto &cell : impl.cells) {
+        Simulator &sim = *cell->sim;
+        while (sim.intervalsStarted() <= iv) {
+            if (!sim.step())
+                break;
+        }
+    }
+
+    // Parallel phase: every cell runs its own event loop up to (not
+    // including) the next barrier. Cells share nothing here.
+    const TimeMs t_next = static_cast<TimeMs>(iv + 1) * interval_ms;
+    impl.runCells([&impl, t_next](std::size_t cell) {
+        Simulator &sim = *impl.cells[cell]->sim;
+        while (const std::optional<TimeMs> t = sim.nextEventTime()) {
+            if (*t >= t_next)
+                break;
+            sim.step();
+        }
+    });
+
+    ++impl.intervals_started;
+    return true;
+}
+
+SimulationMetrics
+ShardedSimulator::finish()
+{
+    Impl &impl = *impl_;
+    ICEB_ASSERT(impl.drained,
+                "finish() before the run completed (call "
+                "advanceInterval() until it returns false)");
+    SimulationMetrics total = impl.cells[0]->sim->finish();
+    for (std::size_t cell = 1; cell < impl.cells.size(); ++cell)
+        total.merge(impl.cells[cell]->sim->finish());
+    return total;
+}
+
+SimulationMetrics
+ShardedSimulator::run()
+{
+    start();
+    while (advanceInterval()) {
+    }
+    return finish();
+}
+
+std::optional<TimeMs>
+ShardedSimulator::nextBarrierTime() const
+{
+    const Impl &impl = *impl_;
+    if (impl.intervals_started >= impl.trace.numIntervals())
+        return std::nullopt;
+    return static_cast<TimeMs>(impl.intervals_started) *
+        impl.trace.intervalMs();
+}
+
+std::size_t
+ShardedSimulator::intervalsStarted() const
+{
+    return impl_->intervals_started;
+}
+
+TimeMs
+ShardedSimulator::now() const
+{
+    return impl_->now;
+}
+
+const ShardPlan &
+ShardedSimulator::plan() const
+{
+    return impl_->shard_plan;
+}
+
+bool
+ShardedSimulator::parallel() const
+{
+    return impl_->parallel;
+}
+
+} // namespace iceb::sim

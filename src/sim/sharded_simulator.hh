@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The sharded discrete-event engine: one run scaled across threads.
+ *
+ * The workload is partitioned once into M logical cells — functions
+ * by id (fn % M), servers round-robin per tier — and each cell is a
+ * complete, independent Simulator over its slice: its own calendar
+ * event queue, container arena, server heaps, eviction heap, wait
+ * queue and metrics accumulator. Within a decision interval the cells
+ * share nothing, so they execute concurrently on `shards` worker
+ * threads; all cross-cell effects — the policy's global utility
+ * ranking, tier-wide memory accounting, probe sampling, observation
+ * aggregation — happen serially on the coordinator at the interval
+ * barrier, which is already the deterministic decision epoch.
+ *
+ * Determinism contract: the cell partition is a pure function of the
+ * workload/cluster geometry (and the optional `cells` override),
+ * never of the worker count, and each cell's event order is internal
+ * to that cell. Metrics, figure outputs and probe CSVs are therefore
+ * byte-identical for every `shards` value at every `--threads`. The
+ * classic engine (shards = 0) remains the default and is untouched.
+ * The barrier replays the classic engine's interval ordering exactly
+ * (policy hooks before the arrival windows open, interval ticks ahead
+ * of same-time arrivals), so sharded results match the classic engine
+ * whenever placement never contends for memory; under pressure the
+ * partitioned per-cell memory accounting can place differently
+ * (DESIGN.md section 13 discusses the partitioned-memory semantics).
+ *
+ * Policies participate in the parallel phase only if they declare
+ * Policy::shardCompatible(); everything else runs cells serially in
+ * cell order — same results, no intra-run speedup.
+ */
+
+#ifndef ICEB_SIM_SHARDED_SIMULATOR_HH
+#define ICEB_SIM_SHARDED_SIMULATOR_HH
+
+#include <memory>
+#include <optional>
+
+#include "sim/simulator.hh"
+
+namespace iceb::sim
+{
+
+/**
+ * The fixed logical partition: how many cells, which cell owns a
+ * function, and each cell's slice of the cluster.
+ */
+struct ShardPlan
+{
+    /** Auto cell count before clamping to the cluster's geometry. */
+    static constexpr std::size_t kDefaultCells = 16;
+
+    std::size_t num_cells = 1;
+
+    /**
+     * Build the plan for a workload/cluster. @p requested_cells
+     * overrides the auto count (0 = auto); either way the count is
+     * clamped to the smallest populated tier's server count (and to
+     * the function count) so every cell owns at least one server of
+     * EVERY tier — a cell missing a tier would distort heterogeneous
+     * placement.
+     */
+    static ShardPlan build(const trace::Trace &tr,
+                           const ClusterConfig &config,
+                           std::size_t requested_cells = 0);
+
+    /** Owning cell of a function. */
+    std::size_t cellOf(FunctionId fn) const
+    {
+        return static_cast<std::size_t>(fn) % num_cells;
+    }
+
+    /**
+     * Cell @p cell's slice of @p config: per tier, server_count / M
+     * servers plus one of the remainder for the first cells; rates
+     * and per-server memory unchanged.
+     */
+    ClusterConfig cellConfig(const ClusterConfig &config,
+                             std::size_t cell) const;
+};
+
+/**
+ * Coordinator for one sharded run. Mirrors the classic Simulator's
+ * incremental API at interval granularity so the serving-mode drivers
+ * can pace it: start(), then advanceInterval() until it returns
+ * false, then finish().
+ */
+class ShardedSimulator
+{
+  public:
+    ShardedSimulator(
+        const trace::Trace &tr,
+        const std::vector<workload::FunctionProfile> &profiles,
+        const ClusterConfig &config, Policy &policy,
+        SimulatorOptions options = {});
+    ~ShardedSimulator();
+
+    ShardedSimulator(const ShardedSimulator &) = delete;
+    ShardedSimulator &operator=(const ShardedSimulator &) = delete;
+
+    /** Execute the whole trace and return the merged metrics. */
+    SimulationMetrics run();
+
+    /**
+     * Initialise the global policy (granting the OracleContext to
+     * OfflinePolicy schemes) and start every cell. Must be called
+     * before advanceInterval().
+     */
+    void start();
+
+    /**
+     * Process the next interval: the serial barrier (probe sampling,
+     * observation aggregation, the policy's interval hooks) followed
+     * by the parallel cell phase up to the next boundary. After the
+     * last interval, one further call drains the cells' trailing
+     * events and returns false.
+     */
+    bool advanceInterval();
+
+    /**
+     * Merge the cells' metrics in cell order and return them. Integer
+     * counters and cost sums add, sample vectors concatenate in cell
+     * order, per-function entries add (disjoint across cells), event
+     * loop peaks take the max over cells.
+     */
+    SimulationMetrics finish();
+
+    /** Simulated time of the next interval barrier (pacing signal),
+     * or nullopt once all intervals have started. */
+    std::optional<TimeMs> nextBarrierTime() const;
+
+    /** Interval barriers processed so far. */
+    std::size_t intervalsStarted() const;
+
+    /** Current simulated time (the last barrier's timestamp). */
+    TimeMs now() const;
+
+    /** The fixed logical partition this run uses. */
+    const ShardPlan &plan() const;
+
+    /**
+     * True when the cell phase actually runs on worker threads: the
+     * policy is shardCompatible() and options.shards > 1.
+     */
+    bool parallel() const;
+
+    struct Impl; //!< implementation detail (sharded_simulator.cc)
+
+  private:
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace iceb::sim
+
+#endif // ICEB_SIM_SHARDED_SIMULATOR_HH

@@ -6,6 +6,7 @@
 #include "common/rng.hh"
 #include "obs/probes.hh"
 #include "obs/recorder.hh"
+#include "sim/sharded_simulator.hh"
 
 namespace iceb::sim
 {
@@ -500,6 +501,10 @@ runSimulation(const trace::Trace &tr,
               const ClusterConfig &config, Policy &policy,
               SimulatorOptions options)
 {
+    if (options.shards > 0) {
+        ShardedSimulator sim(tr, profiles, config, policy, options);
+        return sim.run();
+    }
     Simulator sim(tr, profiles, config, policy, options);
     return sim.run();
 }

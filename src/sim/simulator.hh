@@ -63,6 +63,26 @@ struct SimulatorOptions
     obs::RunRecorder *recorder = nullptr;
 
     /**
+     * Worker threads for the sharded engine; 0 (the default) runs the
+     * classic single-shard engine. Any value >= 1 switches
+     * runSimulation to the ShardedSimulator, whose results are
+     * byte-identical for every shards value (the logical cell
+     * partition is fixed by the workload/cluster geometry, never by
+     * the worker count). They can differ from the classic engine's
+     * only through the partitioned per-cell memory accounting (see
+     * sim/sharded_simulator.hh).
+     */
+    std::size_t shards = 0;
+
+    /**
+     * Logical cell count override for the sharded engine; 0 = auto
+     * (16, clamped to the smallest populated tier's server count and
+     * the function count). Results depend on this partition — it is
+     * part of the sharded model — but never on `shards`.
+     */
+    std::size_t cells = 0;
+
+    /**
      * Options for run @p run_index of a repeated-seed experiment: the
      * run's RNG stream is derived purely from (base_seed, run_index),
      * so a grid of runs is reproducible regardless of how runs are
@@ -130,6 +150,36 @@ class Simulator
 
     /** Current simulated time. */
     TimeMs now() const { return now_; }
+
+    // ----------------------------------------------------------------
+    // Accessors for the sharded coordinator (sharded_simulator.cc),
+    // which drives one Simulator per logical cell and needs to route
+    // barrier-time policy actions and probe sampling into them.
+    // ----------------------------------------------------------------
+
+    /** The cluster state this run schedules against. */
+    ClusterState &cluster() { return cluster_; }
+    const ClusterState &cluster() const { return cluster_; }
+
+    /** Metrics accrued so far (mid-run view; probe sampling). */
+    const SimulationMetrics &accruedMetrics() const
+    {
+        return metrics_.current();
+    }
+
+    /** Invocations currently parked in the FIFO wait queue. */
+    std::size_t waitingCount() const { return waitCount(); }
+
+    /**
+     * Arrival counts accumulated in the currently open interval (the
+     * counts the next IntervalObservation will deliver). The sharded
+     * engine reads these at its barrier, before the cell's tick has
+     * delivered and reset them.
+     */
+    const std::vector<std::uint32_t> &observedCounts() const
+    {
+        return observed_counts_;
+    }
 
   private:
     struct QueuedInvocation
@@ -227,6 +277,7 @@ class Simulator
 
 /**
  * Convenience one-shot runner used by tests, examples and benches.
+ * Dispatches to the ShardedSimulator when options.shards > 0.
  */
 SimulationMetrics
 runSimulation(const trace::Trace &tr,
