@@ -661,7 +661,7 @@ main(int argc, char **argv)
 
     ShardedRow sharded;
     sharded.logical_cells =
-        sim::ShardPlan::build(sw.tr, sw.cluster).num_cells;
+        sim::ShardPlan::build(sw.tr.numFunctions(), sw.cluster).num_cells;
     sharded.workers = shard_workers;
     sharded.events = sharded_single.event_loop.totalPopped();
     sharded.metrics_digest = digestHex(digest_single);

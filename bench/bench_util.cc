@@ -49,6 +49,11 @@ usage(const char *prog, int status)
            "N >= 1 but differs\n"
         << "                from the classic engine (partitioned "
            "memory model)\n"
+        << "  --max-cells M ceiling for the sharded engine's auto "
+           "cell count\n"
+        << "                (0 = built-in default of 16; results "
+           "depend on the\n"
+        << "                cell partition, never on --shards)\n"
         << "  --seeds S     base seed for derived per-run RNG streams\n"
         << "  --repeats R   seed replicates per experiment cell "
            "(default 1)\n"
@@ -123,6 +128,10 @@ parseBenchOptions(int argc, char **argv)
             options.shards =
                 static_cast<std::size_t>(parseUint(prog, arg,
                                                    value(arg)));
+        } else if (arg == "--max-cells") {
+            options.max_cells =
+                static_cast<std::size_t>(parseUint(prog, arg,
+                                                   value(arg)));
         } else if (arg == "--repeats") {
             options.repeats =
                 static_cast<std::size_t>(parseUint(prog, arg,
@@ -155,6 +164,7 @@ runnerOptions(const BenchOptions &options)
     harness::RunnerOptions ro;
     ro.threads = options.threads;
     ro.shards = options.shards;
+    ro.max_cells = options.max_cells;
     ro.repeats = options.repeats;
     ro.base_seed = options.base_seed;
     if (options.observation.enabled())
@@ -243,8 +253,10 @@ runGridComparison(const std::string &title,
 
     std::vector<harness::RunSpec> grid = harness::buildGrid(
         keys, workload, points, options.base_seed, options.repeats);
-    for (harness::RunSpec &spec : grid)
+    for (harness::RunSpec &spec : grid) {
         spec.shards = options.shards;
+        spec.max_cells = options.max_cells;
+    }
     harness::ExperimentRunner runner(options.threads);
     if (options.observation.enabled())
         runner.setObservation(options.observation);

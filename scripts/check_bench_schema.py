@@ -1,30 +1,33 @@
 #!/usr/bin/env python3
-"""Golden-file check for bench_sim's JSON output schema.
+"""Golden-file check for a bench binary's JSON output schema.
 
-Runs ``bench_sim --shards 2 --smoke --json <tmp>`` and compares the
-sorted set of dot-notation key paths in the produced JSON against the
-committed golden file (tests/golden/bench_sim_schema.txt). Values are
-deliberately ignored -- timings are machine-dependent -- but a key
-that appears, disappears or moves is a schema change that downstream
-consumers (the --baseline gate, CI dashboards) must hear about, so it
-must be made consciously by re-running with --update.
+Runs ``<bench> <args> --json <tmp>`` and compares the sorted set of
+dot-notation key paths in the produced JSON against the committed
+golden file. Values are deliberately ignored -- timings are
+machine-dependent -- but a key that appears, disappears or moves is a
+schema change that downstream consumers (the --baseline gates, CI
+dashboards) must hear about, so it must be made consciously by
+re-running with --update.
 
 Usage:
-    check_bench_schema.py PATH_TO_BENCH_SIM [--update]
+    check_bench_schema.py PATH_TO_BENCH [--golden PATH] [--args "..."]
+                          [--update]
+
+Defaults preserve the original bench_sim invocation: golden file
+tests/golden/bench_sim_schema.txt, args "--shards 2 --smoke".
 """
 
+import argparse
 import json
 import pathlib
+import shlex
 import subprocess
 import sys
 import tempfile
 
-GOLDEN = (
-    pathlib.Path(__file__).resolve().parent.parent
-    / "tests"
-    / "golden"
-    / "bench_sim_schema.txt"
-)
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_GOLDEN = REPO / "tests" / "golden" / "bench_sim_schema.txt"
+DEFAULT_ARGS = "--shards 2 --smoke"
 
 
 def key_paths(value, prefix=""):
@@ -43,15 +46,23 @@ def key_paths(value, prefix=""):
 
 
 def main(argv):
-    if len(argv) < 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    bench = argv[1]
-    update = "--update" in argv[2:]
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("bench", help="path to the bench binary")
+    parser.add_argument("--golden", type=pathlib.Path,
+                        default=DEFAULT_GOLDEN,
+                        help="golden key-path file to compare against")
+    parser.add_argument("--args", default=DEFAULT_ARGS,
+                        help="bench arguments (one shell-quoted string)")
+    parser.add_argument("--update", action="store_true",
+                        help="re-bless the golden file")
+    opts = parser.parse_args(argv[1:])
 
     with tempfile.TemporaryDirectory() as tmp:
-        out_path = pathlib.Path(tmp) / "bench_sim.json"
-        cmd = [bench, "--shards", "2", "--smoke", "--json", str(out_path)]
+        out_path = pathlib.Path(tmp) / "bench.json"
+        cmd = ([opts.bench] + shlex.split(opts.args)
+               + ["--json", str(out_path)])
         result = subprocess.run(cmd, capture_output=True, text=True)
         if result.returncode != 0:
             print(result.stdout, file=sys.stderr)
@@ -62,17 +73,17 @@ def main(argv):
         document = json.loads(out_path.read_text())
 
     actual = key_paths(document)
-    if update:
-        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
-        GOLDEN.write_text("\n".join(actual) + "\n")
-        print(f"updated {GOLDEN} ({len(actual)} key paths)")
+    if opts.update:
+        opts.golden.parent.mkdir(parents=True, exist_ok=True)
+        opts.golden.write_text("\n".join(actual) + "\n")
+        print(f"updated {opts.golden} ({len(actual)} key paths)")
         return 0
 
-    if not GOLDEN.exists():
-        print(f"FAIL: golden file {GOLDEN} missing; run with --update",
-              file=sys.stderr)
+    if not opts.golden.exists():
+        print(f"FAIL: golden file {opts.golden} missing; "
+              "run with --update", file=sys.stderr)
         return 1
-    expected = GOLDEN.read_text().split()
+    expected = opts.golden.read_text().split()
     if actual != expected:
         missing = sorted(set(expected) - set(actual))
         extra = sorted(set(actual) - set(expected))
@@ -81,10 +92,11 @@ def main(argv):
         for path in extra:
             print(f"FAIL: new key path not in golden: {path}",
                   file=sys.stderr)
-        print(f"(update consciously with: {argv[0]} {bench} --update)",
+        print(f"(update consciously with: {argv[0]} {opts.bench} "
+              f"--golden {opts.golden} --args {opts.args!r} --update)",
               file=sys.stderr)
         return 1
-    print(f"OK: {len(actual)} key paths match {GOLDEN.name}")
+    print(f"OK: {len(actual)} key paths match {opts.golden.name}")
     return 0
 
 

@@ -71,6 +71,7 @@ ExperimentRunner::run(const std::vector<RunSpec> &grid) const
             sim::SimulatorOptions options = sim::SimulatorOptions::forRun(
                 spec.base_seed, spec.run_index);
             options.shards = spec.shards;
+            options.max_cells = spec.max_cells;
             if (observe) {
                 recorders[i] =
                     std::make_unique<obs::RunRecorder>(obs_config);
@@ -160,8 +161,10 @@ runAllSchemesParallel(const Workload &workload,
     const std::vector<SweepPoint> points = {{"", cluster}};
     std::vector<RunSpec> grid = buildGrid(
         schemes, workload, points, options.base_seed, options.repeats);
-    for (RunSpec &spec : grid)
+    for (RunSpec &spec : grid) {
         spec.shards = options.shards;
+        spec.max_cells = options.max_cells;
+    }
     ExperimentRunner runner(options.threads);
     if (options.observation != nullptr)
         runner.setObservation(*options.observation);

@@ -51,6 +51,10 @@ struct RunSpec
      * of the sharded engine are identical for every value >= 1.
      */
     std::size_t shards = 0;
+
+    /** Auto cell-count ceiling for the sharded engine
+     * (SimulatorOptions::max_cells; 0 = built-in default). */
+    std::size_t max_cells = 0;
 };
 
 /** One run's outcome, paired with the spec that produced it. */
@@ -142,6 +146,9 @@ struct RunnerOptions
 
     /** Intra-run worker threads (RunSpec::shards; 0 = classic engine). */
     std::size_t shards = 0;
+
+    /** Auto cell-count ceiling (RunSpec::max_cells; 0 = default). */
+    std::size_t max_cells = 0;
 
     /** Observability destinations (borrowed; null = off). */
     const ObservationOptions *observation = nullptr;

@@ -18,7 +18,17 @@ SimDriver::SimDriver(
     const std::vector<workload::FunctionProfile> &profiles,
     const sim::ClusterConfig &cluster, DecisionEngine &engine,
     sim::SimulatorOptions options)
-    : trace_(tr), profiles_(profiles), cluster_(cluster),
+    : trace_(&tr), profiles_(profiles), cluster_(cluster),
+      engine_(engine), options_(options)
+{
+}
+
+SimDriver::SimDriver(
+    sim::TraceSource &source,
+    const std::vector<workload::FunctionProfile> &profiles,
+    const sim::ClusterConfig &cluster, DecisionEngine &engine,
+    sim::SimulatorOptions options)
+    : source_(&source), profiles_(profiles), cluster_(cluster),
       engine_(engine), options_(options)
 {
 }
@@ -28,7 +38,11 @@ SimDriver::run()
 {
     // runSimulation dispatches on options_.shards: the classic
     // engine at 0, the sharded engine otherwise.
-    return sim::runSimulation(trace_, profiles_, cluster_, engine_,
+    if (source_ != nullptr) {
+        return sim::runSimulation(*source_, profiles_, cluster_,
+                                  engine_, options_);
+    }
+    return sim::runSimulation(*trace_, profiles_, cluster_, engine_,
                               options_);
 }
 

@@ -43,11 +43,18 @@ class SimDriver
               const sim::ClusterConfig &cluster, DecisionEngine &engine,
               sim::SimulatorOptions options = {});
 
+    /** As above, over an external workload source (streamed runs). */
+    SimDriver(sim::TraceSource &source,
+              const std::vector<workload::FunctionProfile> &profiles,
+              const sim::ClusterConfig &cluster, DecisionEngine &engine,
+              sim::SimulatorOptions options = {});
+
     /** Run the whole trace; identical to runSimulation on the engine. */
     sim::SimulationMetrics run();
 
   private:
-    const trace::Trace &trace_;
+    const trace::Trace *trace_ = nullptr;
+    sim::TraceSource *source_ = nullptr;
     const std::vector<workload::FunctionProfile> &profiles_;
     const sim::ClusterConfig &cluster_;
     DecisionEngine &engine_;

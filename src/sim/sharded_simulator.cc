@@ -18,8 +18,8 @@ namespace iceb::sim
 {
 
 ShardPlan
-ShardPlan::build(const trace::Trace &tr, const ClusterConfig &config,
-                 std::size_t requested_cells)
+ShardPlan::build(std::size_t num_functions, const ClusterConfig &config,
+                 std::size_t requested_cells, std::size_t max_cells)
 {
     // Every cell must own at least one server of EVERY populated tier
     // — a cell missing a tier would deny its functions that tier's
@@ -37,10 +37,12 @@ ShardPlan::build(const trace::Trace &tr, const ClusterConfig &config,
     }
     ICEB_ASSERT(smallest_tier > 0, "cluster has no servers");
 
+    const std::size_t ceiling =
+        max_cells == 0 ? kDefaultCells : max_cells;
     std::size_t cells =
-        requested_cells == 0 ? kDefaultCells : requested_cells;
+        requested_cells == 0 ? ceiling : requested_cells;
     cells = std::min(cells, smallest_tier);
-    cells = std::min(cells, std::max<std::size_t>(1, tr.numFunctions()));
+    cells = std::min(cells, std::max<std::size_t>(1, num_functions));
     cells = std::max<std::size_t>(1, cells);
 
     ShardPlan plan;
@@ -247,37 +249,87 @@ class CellPool
     std::vector<std::thread> threads_;
 };
 
+/**
+ * The per-cell workload source: a TraceSource whose windows the
+ * coordinator fills at each barrier by scattering the GLOBAL window's
+ * arrivals to their owning cells, in window order, re-ranking each by
+ * its cell-buffer position. Within a cell, the restriction of the
+ * global (time, rank) order IS the cell's own (time, rank) order (the
+ * global ranks are function-major over all functions; restricted to
+ * one cell's functions that is the cell's function-major order, and a
+ * stable time sort commutes with the restriction), so this reproduces
+ * the old per-cell masked-trace schedule byte for byte — without ever
+ * materializing per-cell traces or schedules.
+ *
+ * Deliberately exposes no trace(): a cell can never grant an oracle.
+ */
+class CellStreamSource final : public TraceSource
+{
+  public:
+    CellStreamSource(std::size_t num_functions,
+                     std::size_t num_intervals, TimeMs interval_ms,
+                     std::uint64_t total_arrivals_hint)
+        : num_functions_(num_functions), num_intervals_(num_intervals),
+          interval_ms_(interval_ms), total_hint_(total_arrivals_hint)
+    {
+    }
+
+    std::size_t numFunctions() const override { return num_functions_; }
+    std::size_t numIntervals() const override { return num_intervals_; }
+    TimeMs intervalMs() const override { return interval_ms_; }
+    std::uint64_t totalArrivals() const override { return total_hint_; }
+    std::size_t maxIntervalArrivals() const override { return 0; }
+    void beginRun() override {}
+
+    ArrivalWindow intervalWindow(IntervalIndex interval) override
+    {
+        (void)interval; // the coordinator scatters exactly this one
+        return ArrivalWindow{buffer_.data(), buffer_.size()};
+    }
+
+    /** The scatter target (cleared and refilled every barrier). */
+    std::vector<ArrivalRecord> &buffer() { return buffer_; }
+
+  private:
+    std::size_t num_functions_;
+    std::size_t num_intervals_;
+    TimeMs interval_ms_;
+    std::uint64_t total_hint_;
+    std::vector<ArrivalRecord> buffer_;
+};
+
 /** One logical cell: a full Simulator over its slice of the world. */
 struct Cell
 {
-    trace::Trace trace;
     ClusterConfig config;
+    std::unique_ptr<CellStreamSource> stream;
     std::unique_ptr<CellAdapter> adapter;
     std::unique_ptr<Simulator> sim;
-
-    Cell(trace::Trace tr, ClusterConfig cfg)
-        : trace(std::move(tr)), config(std::move(cfg))
-    {
-    }
 };
 
 } // namespace shard_impl
 
 struct ShardedSimulator::Impl
 {
-    const trace::Trace &trace;
+    /** Set only by the Trace convenience constructor. */
+    std::unique_ptr<TraceSource> owned_source;
+    TraceSource &source;
+
     const std::vector<workload::FunctionProfile> &profiles;
     const ClusterConfig &config;
     Policy &policy;
     SimulatorOptions options;
+
+    /** Workload geometry, cached off the source. */
+    std::size_t num_functions = 0;
+    std::size_t num_intervals = 0;
+    TimeMs interval_ms = 0;
 
     ShardPlan shard_plan;
     std::vector<std::unique_ptr<shard_impl::Cell>> cells;
 
     SimContext context;
     OracleContext oracle_context;
-    /** Global jittered schedule, built only for OfflinePolicy runs. */
-    std::vector<std::vector<TimeMs>> oracle_schedule;
 
     std::unique_ptr<WarmupInterface> facade;
     std::unique_ptr<shard_impl::CellPool> pool;
@@ -293,16 +345,20 @@ struct ShardedSimulator::Impl
     bool drained = false;
     bool parallel = false;
 
-    Impl(const trace::Trace &tr,
+    Impl(std::unique_ptr<TraceSource> owned, TraceSource *external,
          const std::vector<workload::FunctionProfile> &prof,
          const ClusterConfig &cfg, Policy &pol, SimulatorOptions opt)
-        : trace(tr), profiles(prof), config(cfg), policy(pol),
-          options(opt)
+        : owned_source(std::move(owned)),
+          source(owned_source != nullptr ? *owned_source : *external),
+          profiles(prof), config(cfg), policy(pol), options(opt),
+          num_functions(source.numFunctions()),
+          num_intervals(source.numIntervals()),
+          interval_ms(source.intervalMs())
     {
     }
 
-    trace::Trace maskedTrace(std::size_t cell) const;
-    void buildOracleSchedule();
+    void setup();
+    void scatterWindow(IntervalIndex interval);
     void runCells(const std::function<void(std::size_t)> &fn);
     void sampleProbes(IntervalIndex interval);
 
@@ -380,58 +436,89 @@ class GlobalFacade final : public WarmupInterface
 
 } // namespace
 
-trace::Trace
-ShardedSimulator::Impl::maskedTrace(std::size_t cell) const
+void
+ShardedSimulator::Impl::setup()
 {
-    // Every cell's trace carries ALL functions (so global FunctionIds
-    // stay dense and per-function metrics line up for the merge) but
-    // only the owned functions keep their concurrency series; foreign
-    // functions get an all-zero series (Trace requires full-length
-    // vectors) and generate no arrivals.
-    trace::Trace out(trace.numIntervals(), trace.intervalMs());
-    for (FunctionId fn = 0; fn < trace.numFunctions(); ++fn) {
-        trace::FunctionSeries series = trace.function(fn);
-        if (shard_plan.cellOf(fn) != cell)
-            series.concurrency.assign(trace.numIntervals(), 0);
-        out.addFunction(std::move(series));
+    ICEB_ASSERT(profiles.size() == num_functions,
+                "one profile per workload function required");
+
+    shard_plan = ShardPlan::build(num_functions, config, options.cells,
+                                  options.max_cells);
+    const std::size_t num_cells = shard_plan.num_cells;
+
+    SimulatorOptions cell_options = options;
+    cell_options.recorder = nullptr; // cells never observe
+    cell_options.shards = 0;
+    cell_options.cells = 0;
+
+    // Per-cell arrival totals (metrics pre-sizing only, never
+    // results): exact for a materialized source, unknown — so no
+    // pre-reserve — for a streamed one.
+    std::vector<std::uint64_t> cell_totals(num_cells, 0);
+    if (const trace::Trace *tr = source.trace()) {
+        for (FunctionId fn = 0; fn < tr->numFunctions(); ++fn) {
+            cell_totals[shard_plan.cellOf(fn)] +=
+                tr->function(fn).totalInvocations();
+        }
     }
-    return out;
+
+    cells.reserve(num_cells);
+    for (std::size_t cell = 0; cell < num_cells; ++cell) {
+        auto owned = std::make_unique<shard_impl::Cell>();
+        owned->config = shard_plan.cellConfig(config, cell);
+        owned->stream = std::make_unique<shard_impl::CellStreamSource>(
+            num_functions, num_intervals, interval_ms,
+            cell_totals[cell]);
+        owned->adapter =
+            std::make_unique<shard_impl::CellAdapter>(policy);
+        owned->sim = std::make_unique<Simulator>(
+            *owned->stream, profiles, owned->config, *owned->adapter,
+            cell_options);
+        cells.push_back(std::move(owned));
+    }
+
+    context.num_functions = num_functions;
+    context.profiles = &profiles;
+    context.cluster = &config; // the global composition
+    context.interval_ms = interval_ms;
+    context.recorder = options.recorder;
+
+    facade = std::make_unique<GlobalFacade>(*this);
+    observed.assign(num_functions, 0);
+
+    parallel = policy.shardCompatible() && options.shards > 1 &&
+        num_cells > 1;
+    if (parallel) {
+        pool = std::make_unique<shard_impl::CellPool>(
+            std::min(options.shards, num_cells));
+    }
+
+    if (options.recorder != nullptr) {
+        probes = options.recorder->probeTable();
+        if (probes != nullptr)
+            probes->reserve(num_intervals, num_functions);
+        // Lifecycle tracing is not wired into the cells: a sharded
+        // run's Chrome trace carries probe counters only.
+    }
 }
 
 void
-ShardedSimulator::Impl::buildOracleSchedule()
+ShardedSimulator::Impl::scatterWindow(IntervalIndex interval)
 {
-    // Twin of the per-function half of Simulator::buildArrivalSchedule
-    // (keep in sync): the RNG stream is forked per function from the
-    // same seed, so a function's jittered times are identical here, in
-    // its cell's schedule, and in the classic engine.
-    Rng master(options.seed);
-    const TimeMs interval_ms = trace.intervalMs();
-    oracle_schedule.resize(trace.numFunctions());
-    std::vector<TimeMs> times;
-    for (FunctionId fn = 0; fn < trace.numFunctions(); ++fn) {
-        Rng rng = master.fork(fn);
-        const auto &series = trace.function(fn);
-        auto &schedule = oracle_schedule[fn];
-        schedule.reserve(series.totalInvocations());
-        for (std::size_t iv = 0; iv < series.concurrency.size(); ++iv) {
-            const std::uint32_t count = series.concurrency[iv];
-            if (count == 0)
-                continue;
-            const TimeMs base = static_cast<TimeMs>(iv) * interval_ms;
-            const TimeMs span =
-                std::min<TimeMs>(5000, interval_ms - 1);
-            const TimeMs offset = static_cast<TimeMs>(
-                rng.uniformInt(0, interval_ms - 1 - span));
-            times.clear();
-            for (std::uint32_t i = 0; i < count; ++i) {
-                times.push_back(base + offset +
-                                static_cast<TimeMs>(
-                                    rng.uniformInt(0, span)));
-            }
-            std::sort(times.begin(), times.end());
-            schedule.insert(schedule.end(), times.begin(), times.end());
-        }
+    // Pull the interval's GLOBAL window once and deal every arrival to
+    // its owning cell, re-ranking by cell-buffer position (see
+    // CellStreamSource). The single pull is what lets one streaming
+    // source feed all cells: it is consumed strictly in interval
+    // order, regardless of the cell count.
+    const ArrivalWindow window = source.intervalWindow(interval);
+    for (const auto &cell : cells)
+        cell->stream->buffer().clear();
+    for (std::size_t i = 0; i < window.size; ++i) {
+        ArrivalRecord rec = window.data[i];
+        auto &buf =
+            cells[shard_plan.cellOf(rec.fn)]->stream->buffer();
+        rec.rank = static_cast<std::uint32_t>(buf.size());
+        buf.push_back(rec);
     }
 }
 
@@ -485,57 +572,21 @@ ShardedSimulator::ShardedSimulator(
     const trace::Trace &tr,
     const std::vector<workload::FunctionProfile> &profiles,
     const ClusterConfig &config, Policy &policy, SimulatorOptions options)
-    : impl_(std::make_unique<Impl>(tr, profiles, config, policy,
-                                   options))
+    : impl_(std::make_unique<Impl>(
+          std::make_unique<MaterializedTraceSource>(tr, options.seed),
+          nullptr, profiles, config, policy, options))
 {
-    ICEB_ASSERT(profiles.size() == tr.numFunctions(),
-                "one profile per trace function required");
+    impl_->setup();
+}
 
-    Impl &impl = *impl_;
-    impl.shard_plan = ShardPlan::build(tr, config, options.cells);
-    const std::size_t num_cells = impl.shard_plan.num_cells;
-
-    SimulatorOptions cell_options = options;
-    cell_options.recorder = nullptr; // cells never observe
-    cell_options.shards = 0;
-    cell_options.cells = 0;
-
-    impl.cells.reserve(num_cells);
-    for (std::size_t cell = 0; cell < num_cells; ++cell) {
-        auto owned = std::make_unique<shard_impl::Cell>(
-            impl.maskedTrace(cell),
-            impl.shard_plan.cellConfig(config, cell));
-        owned->adapter =
-            std::make_unique<shard_impl::CellAdapter>(policy);
-        owned->sim = std::make_unique<Simulator>(
-            owned->trace, profiles, owned->config, *owned->adapter,
-            cell_options);
-        impl.cells.push_back(std::move(owned));
-    }
-
-    impl.context.num_functions = tr.numFunctions();
-    impl.context.profiles = &profiles;
-    impl.context.cluster = &config; // the global composition
-    impl.context.interval_ms = tr.intervalMs();
-    impl.context.recorder = options.recorder;
-
-    impl.facade = std::make_unique<GlobalFacade>(impl);
-    impl.observed.assign(tr.numFunctions(), 0);
-
-    impl.parallel = policy.shardCompatible() && options.shards > 1 &&
-        num_cells > 1;
-    if (impl.parallel) {
-        impl.pool = std::make_unique<shard_impl::CellPool>(
-            std::min(options.shards, num_cells));
-    }
-
-    if (options.recorder != nullptr) {
-        impl.probes = options.recorder->probeTable();
-        if (impl.probes != nullptr)
-            impl.probes->reserve(tr.numIntervals(), tr.numFunctions());
-        // Lifecycle tracing is not wired into the cells: a sharded
-        // run's Chrome trace carries probe counters only.
-    }
+ShardedSimulator::ShardedSimulator(
+    TraceSource &source,
+    const std::vector<workload::FunctionProfile> &profiles,
+    const ClusterConfig &config, Policy &policy, SimulatorOptions options)
+    : impl_(std::make_unique<Impl>(nullptr, &source, profiles, config,
+                                   policy, options))
+{
+    impl_->setup();
 }
 
 ShardedSimulator::~ShardedSimulator() = default;
@@ -549,11 +600,18 @@ ShardedSimulator::start()
 
     impl.policy.initialize(impl.context);
     if (auto *offline = dynamic_cast<OfflinePolicy *>(&impl.policy)) {
-        impl.buildOracleSchedule();
-        impl.oracle_context.trace = &impl.trace;
-        impl.oracle_context.arrival_schedule = &impl.oracle_schedule;
+        if (impl.source.trace() == nullptr) {
+            fatal("offline (oracle) scheme '", impl.policy.name(),
+                  "' needs a materialized trace; a streamed workload "
+                  "cannot grant the privileged full-trace view");
+        }
+        impl.oracle_context.trace = impl.source.trace();
+        impl.oracle_context.arrival_schedule =
+            impl.source.arrivalSchedule();
         offline->initializeOracle(impl.oracle_context);
     }
+
+    impl.source.beginRun();
 
     for (const auto &cell : impl.cells)
         cell->sim->start();
@@ -567,7 +625,7 @@ ShardedSimulator::advanceInterval()
     if (impl.drained)
         return false;
 
-    const std::size_t num_intervals = impl.trace.numIntervals();
+    const std::size_t num_intervals = impl.num_intervals;
     if (impl.intervals_started == num_intervals) {
         // Trailing completions / expiries past the horizon; no policy
         // interval hooks remain.
@@ -580,7 +638,7 @@ ShardedSimulator::advanceInterval()
     }
 
     const std::size_t iv = impl.intervals_started;
-    const TimeMs interval_ms = impl.trace.intervalMs();
+    const TimeMs interval_ms = impl.interval_ms;
     impl.now = static_cast<TimeMs>(iv) * interval_ms;
 
     // Serial barrier, deterministic cell order. The previous body
@@ -619,6 +677,10 @@ ShardedSimulator::advanceInterval()
     }
     impl.policy.onIntervalStart(static_cast<IntervalIndex>(iv),
                                 *impl.facade);
+
+    // Deal the interval's arrivals to the cells before any cell's
+    // tick opens its window on them.
+    impl.scatterWindow(static_cast<IntervalIndex>(iv));
 
     // Now advance every cell through its tick: the adapter swallows
     // the interval hooks, and the tick opens the arrival window with
@@ -673,10 +735,10 @@ std::optional<TimeMs>
 ShardedSimulator::nextBarrierTime() const
 {
     const Impl &impl = *impl_;
-    if (impl.intervals_started >= impl.trace.numIntervals())
+    if (impl.intervals_started >= impl.num_intervals)
         return std::nullopt;
     return static_cast<TimeMs>(impl.intervals_started) *
-        impl.trace.intervalMs();
+        impl.interval_ms;
 }
 
 std::size_t

@@ -55,15 +55,17 @@ struct ShardPlan
 
     /**
      * Build the plan for a workload/cluster. @p requested_cells
-     * overrides the auto count (0 = auto); either way the count is
+     * overrides the auto count (0 = auto, capped at @p max_cells, or
+     * kDefaultCells when that is 0 too); either way the count is
      * clamped to the smallest populated tier's server count (and to
      * the function count) so every cell owns at least one server of
      * EVERY tier — a cell missing a tier would distort heterogeneous
      * placement.
      */
-    static ShardPlan build(const trace::Trace &tr,
+    static ShardPlan build(std::size_t num_functions,
                            const ClusterConfig &config,
-                           std::size_t requested_cells = 0);
+                           std::size_t requested_cells = 0,
+                           std::size_t max_cells = 0);
 
     /** Owning cell of a function. */
     std::size_t cellOf(FunctionId fn) const
@@ -89,11 +91,27 @@ struct ShardPlan
 class ShardedSimulator
 {
   public:
+    /** Wraps @p tr in an internal MaterializedTraceSource (seeded
+     * with options.seed), like the classic Simulator. */
     ShardedSimulator(
         const trace::Trace &tr,
         const std::vector<workload::FunctionProfile> &profiles,
         const ClusterConfig &config, Policy &policy,
         SimulatorOptions options = {});
+
+    /**
+     * Run against an external workload source. The coordinator pulls
+     * each interval's global window once and scatters it to the owning
+     * cells at the barrier, so a streamed source is consumed strictly
+     * in interval order — sharded streamed runs remain byte-identical
+     * to sharded materialized runs of the same workload.
+     */
+    ShardedSimulator(
+        TraceSource &source,
+        const std::vector<workload::FunctionProfile> &profiles,
+        const ClusterConfig &config, Policy &policy,
+        SimulatorOptions options = {});
+
     ~ShardedSimulator();
 
     ShardedSimulator(const ShardedSimulator &) = delete;

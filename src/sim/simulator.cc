@@ -26,169 +26,77 @@ Simulator::Simulator(
     const trace::Trace &tr,
     const std::vector<workload::FunctionProfile> &profiles,
     const ClusterConfig &config, Policy &policy, SimulatorOptions options)
-    : trace_(tr), profiles_(profiles), config_(config), policy_(policy),
-      options_(options), metrics_(tr.numFunctions()),
+    : Simulator(
+          std::make_unique<MaterializedTraceSource>(tr, options.seed),
+          nullptr, profiles, config, policy, options)
+{
+}
+
+Simulator::Simulator(
+    TraceSource &source,
+    const std::vector<workload::FunctionProfile> &profiles,
+    const ClusterConfig &config, Policy &policy, SimulatorOptions options)
+    : Simulator(nullptr, &source, profiles, config, policy, options)
+{
+}
+
+Simulator::Simulator(
+    std::unique_ptr<TraceSource> owned, TraceSource *external,
+    const std::vector<workload::FunctionProfile> &profiles,
+    const ClusterConfig &config, Policy &policy, SimulatorOptions options)
+    : owned_source_(std::move(owned)),
+      source_(owned_source_ != nullptr ? owned_source_.get() : external),
+      profiles_(profiles), config_(config), policy_(policy),
+      options_(options), num_functions_(source_->numFunctions()),
+      num_intervals_(source_->numIntervals()),
+      interval_ms_(source_->intervalMs()), metrics_(num_functions_),
       cluster_(config, profiles, events_, metrics_, options.hints)
 {
-    ICEB_ASSERT(profiles_.size() == trace_.numFunctions(),
-                "one profile per trace function required");
+    ICEB_ASSERT(profiles_.size() == num_functions_,
+                "one profile per workload function required");
     ICEB_ASSERT(config_.totalServers() > 0, "cluster has no servers");
-
-    buildArrivalSchedule();
 
     // All capacity hints apply here, before run(): with hints from a
     // previous run's peaks, run() itself performs no allocations.
-    metrics_.reserveSamples(arrival_stream_.size());
+    metrics_.reserveSamples(
+        static_cast<std::size_t>(source_->totalArrivals()));
     events_.reserve(options_.hints.events,
                     options_.hints.events_per_bucket);
     wait_queue_.reserve(options_.hints.wait_queue);
 
-    context_.num_functions = trace_.numFunctions();
+    context_.num_functions = num_functions_;
     context_.profiles = &profiles_;
     context_.cluster = &config_;
-    context_.interval_ms = trace_.intervalMs();
+    context_.interval_ms = interval_ms_;
     context_.recorder = options_.recorder;
 
-    // The privileged view exists only here; start() grants it solely
-    // to OfflinePolicy schemes.
-    oracle_context_.trace = &trace_;
-    oracle_context_.arrival_schedule = &arrival_schedule_;
+    // The privileged view exists only for materialized sources;
+    // start() grants it solely to OfflinePolicy schemes (and refuses
+    // a streamed run, which has nothing to grant).
+    oracle_context_.trace = source_->trace();
+    oracle_context_.arrival_schedule = source_->arrivalSchedule();
 
-    observed_counts_.assign(trace_.numFunctions(), 0);
+    observed_counts_.assign(num_functions_, 0);
 
     if (options_.recorder != nullptr) {
         tsink_ = options_.recorder->traceSink();
         probes_ = options_.recorder->probeTable();
         cluster_.setTraceSink(tsink_);
-        if (probes_ != nullptr) {
-            probes_->reserve(trace_.numIntervals(),
-                             trace_.numFunctions());
-        }
+        if (probes_ != nullptr)
+            probes_->reserve(num_intervals_, num_functions_);
     }
-}
-
-void
-Simulator::buildArrivalSchedule()
-{
-    Rng master(options_.seed);
-    const TimeMs interval_ms = trace_.intervalMs();
-    arrival_schedule_.resize(trace_.numFunctions());
-
-    std::size_t total_arrivals = 0;
-    std::vector<TimeMs> times; // reused across (fn, interval) bursts
-    for (FunctionId fn = 0; fn < trace_.numFunctions(); ++fn) {
-        Rng rng = master.fork(fn);
-        const auto &series = trace_.function(fn);
-        auto &schedule = arrival_schedule_[fn];
-        schedule.reserve(series.totalInvocations());
-        total_arrivals += series.totalInvocations();
-        for (std::size_t iv = 0; iv < series.concurrency.size(); ++iv) {
-            const std::uint32_t count = series.concurrency[iv];
-            if (count == 0)
-                continue;
-            // An interval's invocations form one burst: concurrent
-            // requests land within a few seconds of each other (so
-            // they genuinely need that many instances), at a jittered
-            // offset inside the interval.
-            const TimeMs base =
-                static_cast<TimeMs>(iv) * interval_ms;
-            const TimeMs span =
-                std::min<TimeMs>(5000, interval_ms - 1);
-            const TimeMs offset = static_cast<TimeMs>(
-                rng.uniformInt(0, interval_ms - 1 - span));
-            times.clear();
-            for (std::uint32_t i = 0; i < count; ++i) {
-                times.push_back(base + offset +
-                                static_cast<TimeMs>(
-                                    rng.uniformInt(0, span)));
-            }
-            std::sort(times.begin(), times.end());
-            schedule.insert(schedule.end(), times.begin(), times.end());
-        }
-    }
-
-    // Flatten into per-interval blocks in the old push order
-    // (function-major, time-sorted within a function), then sort each
-    // block by (time, rank) so the run loop can merge it against the
-    // event heap front-to-back. Every arrival of interval iv lies in
-    // [iv * interval_ms, (iv + 1) * interval_ms), so the blocks
-    // partition the schedule exactly as the old per-tick cursor scan
-    // consumed it.
-    const std::size_t num_intervals = trace_.numIntervals();
-    arrival_stream_.reserve(total_arrivals);
-    stream_begin_.resize(num_intervals + 1);
-    std::vector<std::size_t> cursor(trace_.numFunctions(), 0);
-    std::vector<StreamedArrival> scratch; // radix ping-pong buffer
-    for (std::size_t iv = 0; iv < num_intervals; ++iv) {
-        const std::size_t block_begin = arrival_stream_.size();
-        stream_begin_[iv] = block_begin;
-        const TimeMs block_base = static_cast<TimeMs>(iv) * interval_ms;
-        const TimeMs interval_end = block_base + interval_ms;
-        for (FunctionId fn = 0; fn < trace_.numFunctions(); ++fn) {
-            const auto &schedule = arrival_schedule_[fn];
-            std::size_t &pos = cursor[fn];
-            while (pos < schedule.size() &&
-                   schedule[pos] < interval_end) {
-                StreamedArrival arrival;
-                arrival.time = schedule[pos];
-                arrival.rank = static_cast<std::uint32_t>(
-                    arrival_stream_.size() - block_begin);
-                arrival.fn = fn;
-                arrival_stream_.push_back(arrival);
-                ++pos;
-            }
-        }
-        // Sort the block by (time, rank). It is already in rank
-        // order, so a STABLE sort keyed on time alone is equivalent;
-        // an LSD radix sort over the in-interval offset does that in
-        // a few sequential counting passes instead of an O(n log n)
-        // comparison sort (this runs once per interval on the
-        // simulation construction path).
-        const std::size_t n = arrival_stream_.size() - block_begin;
-        if (n > 1) {
-            scratch.resize(n);
-            StreamedArrival *src = arrival_stream_.data() + block_begin;
-            StreamedArrival *dst = scratch.data();
-            std::uint32_t counts[256];
-            for (int shift = 0; (interval_ms - 1) >> shift != 0;
-                 shift += 8) {
-                std::fill(std::begin(counts), std::end(counts), 0u);
-                for (std::size_t i = 0; i < n; ++i) {
-                    ++counts[((src[i].time - block_base) >> shift) &
-                             0xff];
-                }
-                std::uint32_t running = 0;
-                for (std::uint32_t &count : counts) {
-                    const std::uint32_t start = running;
-                    running += count;
-                    count = start;
-                }
-                for (std::size_t i = 0; i < n; ++i) {
-                    dst[counts[((src[i].time - block_base) >> shift) &
-                               0xff]++] = src[i];
-                }
-                std::swap(src, dst);
-            }
-            if (src != arrival_stream_.data() + block_begin) {
-                std::copy(src, src + n,
-                          arrival_stream_.data() + block_begin);
-            }
-        }
-    }
-    stream_begin_[num_intervals] = arrival_stream_.size();
 }
 
 void
 Simulator::openArrivalWindow(IntervalIndex interval)
 {
-    const std::size_t iv = static_cast<std::size_t>(interval);
-    stream_pos_ = stream_begin_[iv];
-    stream_end_ = stream_begin_[iv + 1];
+    window_ = source_->intervalWindow(interval);
+    window_pos_ = 0;
     // Claim the sequence numbers the old code's per-arrival pushes
     // would have consumed here, so later pushes (and the merge below)
     // order identically.
-    stream_seq_base_ = events_.reserveSeqs(
-        static_cast<std::uint64_t>(stream_end_ - stream_pos_));
+    stream_seq_base_ =
+        events_.reserveSeqs(static_cast<std::uint64_t>(window_.size));
 }
 
 void
@@ -199,16 +107,25 @@ Simulator::start()
 
     policy_.initialize(context_);
     // Only explicitly-offline policies receive the privileged
-    // full-trace view; everyone else has no path to it.
-    if (auto *offline = dynamic_cast<OfflinePolicy *>(&policy_))
+    // full-trace view; everyone else has no path to it. A streamed
+    // workload has no full trace to grant at all.
+    if (auto *offline = dynamic_cast<OfflinePolicy *>(&policy_)) {
+        if (oracle_context_.trace == nullptr) {
+            fatal("offline (oracle) scheme '", policy_.name(),
+                  "' needs a materialized trace; a streamed workload "
+                  "cannot grant the privileged full-trace view");
+        }
         offline->initializeOracle(oracle_context_);
+    }
+
+    source_->beginRun();
 
     // Interval ticks are scheduled up front so, at equal timestamps,
     // they process before that interval's arrivals (lower sequence
     // numbers win).
-    for (std::size_t iv = 0; iv < trace_.numIntervals(); ++iv) {
+    for (std::size_t iv = 0; iv < num_intervals_; ++iv) {
         Event tick;
-        tick.time = static_cast<TimeMs>(iv) * trace_.intervalMs();
+        tick.time = static_cast<TimeMs>(iv) * interval_ms_;
         tick.type = EventType::IntervalTick;
         tick.interval = static_cast<IntervalIndex>(iv);
         events_.push(tick);
@@ -223,14 +140,14 @@ Simulator::stepImpl(EventLoopStats &stats)
 {
     // Merge the open arrival window against the heap by
     // (time, seq); strict ordering because all keys are unique.
-    if (stream_pos_ < stream_end_) {
-        const StreamedArrival &arrival = arrival_stream_[stream_pos_];
+    if (window_pos_ < window_.size) {
+        const ArrivalRecord &arrival = window_.data[window_pos_];
         const std::uint64_t arrival_seq =
             stream_seq_base_ + arrival.rank;
         const auto key = events_.peekKey();
         if (!key || arrival.time < key->time ||
             (arrival.time == key->time && arrival_seq < key->seq)) {
-            ++stream_pos_;
+            ++window_pos_;
             now_ = arrival.time;
             cluster_.setNow(now_);
             ++stats.popped[static_cast<std::size_t>(
@@ -310,8 +227,8 @@ std::optional<TimeMs>
 Simulator::nextEventTime()
 {
     const auto key = events_.peekKey();
-    if (stream_pos_ < stream_end_) {
-        const TimeMs arrival_time = arrival_stream_[stream_pos_].time;
+    if (window_pos_ < window_.size) {
+        const TimeMs arrival_time = window_.data[window_pos_].time;
         if (!key || arrival_time < key->time)
             return arrival_time;
         return key->time;
@@ -506,6 +423,20 @@ runSimulation(const trace::Trace &tr,
         return sim.run();
     }
     Simulator sim(tr, profiles, config, policy, options);
+    return sim.run();
+}
+
+SimulationMetrics
+runSimulation(TraceSource &source,
+              const std::vector<workload::FunctionProfile> &profiles,
+              const ClusterConfig &config, Policy &policy,
+              SimulatorOptions options)
+{
+    if (options.shards > 0) {
+        ShardedSimulator sim(source, profiles, config, policy, options);
+        return sim.run();
+    }
+    Simulator sim(source, profiles, config, policy, options);
     return sim.run();
 }
 

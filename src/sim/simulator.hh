@@ -30,6 +30,7 @@
 #include "sim/metrics.hh"
 #include "sim/oracle.hh"
 #include "sim/policy.hh"
+#include "sim/trace_source.hh"
 #include "trace/trace.hh"
 #include "workload/function_profile.hh"
 
@@ -76,11 +77,20 @@ struct SimulatorOptions
 
     /**
      * Logical cell count override for the sharded engine; 0 = auto
-     * (16, clamped to the smallest populated tier's server count and
-     * the function count). Results depend on this partition — it is
-     * part of the sharded model — but never on `shards`.
+     * (the max_cells ceiling, clamped to the smallest populated
+     * tier's server count and the function count). Results depend on
+     * this partition — it is part of the sharded model — but never on
+     * `shards`.
      */
     std::size_t cells = 0;
+
+    /**
+     * Ceiling for the auto cell count; 0 = the built-in default
+     * (ShardPlan::kDefaultCells). Large clusters can raise it to
+     * expose more parallelism than the historical 16-cell clamp;
+     * ignored when `cells` names an explicit count.
+     */
+    std::size_t max_cells = 0;
 
     /**
      * Options for run @p run_index of a repeated-seed experiment: the
@@ -105,8 +115,21 @@ class Simulator
      * @param profiles  Per-function profiles, indexed by FunctionId.
      * @param config    Cluster composition.
      * @param policy    The warm-up/keep-alive scheme under test.
+     *
+     * Wraps @p tr in an internal MaterializedTraceSource seeded with
+     * options.seed — byte-identical to the pre-TraceSource engine.
      */
     Simulator(const trace::Trace &tr,
+              const std::vector<workload::FunctionProfile> &profiles,
+              const ClusterConfig &config, Policy &policy,
+              SimulatorOptions options = {});
+
+    /**
+     * Run against an external workload source (e.g. a
+     * StreamingWorkloadSource). @p source must outlive the Simulator;
+     * start() rewinds it, so one source can feed sequential runs.
+     */
+    Simulator(TraceSource &source,
               const std::vector<workload::FunctionProfile> &profiles,
               const ClusterConfig &config, Policy &policy,
               SimulatorOptions options = {});
@@ -188,20 +211,13 @@ class Simulator
         TimeMs arrival = 0;
     };
 
-    /**
-     * One precomputed arrival. @c rank is its position in the order
-     * the old code pushed the containing interval's arrivals
-     * (function-major, time-sorted within a function); its effective
-     * sequence number is the interval's reserved block base + rank.
-     */
-    struct StreamedArrival
-    {
-        TimeMs time = 0;
-        std::uint32_t rank = 0;
-        FunctionId fn = kInvalidFunction;
-    };
+    /** Delegation target of the public constructors: exactly one of
+     * @p owned / @p external names the workload source. */
+    Simulator(std::unique_ptr<TraceSource> owned, TraceSource *external,
+              const std::vector<workload::FunctionProfile> &profiles,
+              const ClusterConfig &config, Policy &policy,
+              SimulatorOptions options);
 
-    void buildArrivalSchedule();
     /**
      * Body shared by run()'s hot loop and the public step(): kept as
      * a separate force-inlined helper so the batch loop keeps its
@@ -226,11 +242,19 @@ class Simulator
     void pushWaiting(FunctionId fn, TimeMs arrival);
     void popWaiting();
 
-    const trace::Trace &trace_;
+    /** Set only by the Trace convenience constructor. */
+    std::unique_ptr<TraceSource> owned_source_;
+    TraceSource *source_ = nullptr;
+
     const std::vector<workload::FunctionProfile> &profiles_;
     const ClusterConfig &config_;
     Policy &policy_;
     SimulatorOptions options_;
+
+    /** Workload geometry, cached off source_ (hot-loop reads). */
+    std::size_t num_functions_ = 0;
+    std::size_t num_intervals_ = 0;
+    TimeMs interval_ms_ = 0;
 
     EventQueue events_;
     MetricsCollector metrics_;
@@ -242,19 +266,9 @@ class Simulator
     obs::TraceSink *tsink_ = nullptr;
     obs::ProbeTable *probes_ = nullptr;
 
-    /** Exact arrival times per function (sorted); Oracle's input. */
-    std::vector<std::vector<TimeMs>> arrival_schedule_;
-
-    /** All arrivals, grouped per interval, each group sorted by
-     * (time, rank); indexed via stream_begin_. */
-    std::vector<StreamedArrival> arrival_stream_;
-    /** Block boundaries: interval iv's arrivals occupy
-     * [stream_begin_[iv], stream_begin_[iv + 1]). */
-    std::vector<std::size_t> stream_begin_;
-
-    /** Open stream window (current interval's unprocessed slice). */
-    std::size_t stream_pos_ = 0;
-    std::size_t stream_end_ = 0;
+    /** Open arrival window (current interval's borrowed view). */
+    ArrivalWindow window_;
+    std::size_t window_pos_ = 0;
     std::uint64_t stream_seq_base_ = 0;
 
     /** FIFO wait queue as a reusable ring over a vector. */
@@ -281,6 +295,13 @@ class Simulator
  */
 SimulationMetrics
 runSimulation(const trace::Trace &tr,
+              const std::vector<workload::FunctionProfile> &profiles,
+              const ClusterConfig &config, Policy &policy,
+              SimulatorOptions options = {});
+
+/** As above, over an external workload source (streamed workloads). */
+SimulationMetrics
+runSimulation(TraceSource &source,
               const std::vector<workload::FunctionProfile> &profiles,
               const ClusterConfig &config, Policy &policy,
               SimulatorOptions options = {});

@@ -1,78 +1,48 @@
 #include "trace/azure_loader.hh"
 
 #include <fstream>
-#include <memory>
+#include <optional>
 
 #include "common/csv.hh"
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "trace/stream_reader.hh"
 
 namespace iceb::trace
 {
 
+namespace
+{
+
+/** Materialize every row of an Azure CSV row stream into a Trace. */
+Trace
+materializeRows(AzureCsvRowStream &rows, const std::string &source_name)
+{
+    std::optional<Trace> trace;
+    FunctionRow row;
+    while (rows.next(row)) {
+        if (!trace)
+            trace.emplace(row.num_intervals, kMsPerMinute);
+        FunctionSeries series;
+        series.name.assign(row.name);
+        series.memory_mb = row.memory_mb;
+        series.avg_exec_ms = row.avg_exec_ms;
+        series.concurrency.assign(row.counts,
+                                  row.counts + row.num_intervals);
+        trace->addFunction(std::move(series));
+    }
+    if (!trace)
+        fatal(source_name, " contained no data rows");
+    return std::move(*trace);
+}
+
+} // namespace
+
 Trace
 loadAzureCsv(std::istream &in, const AzureLoadOptions &options)
 {
-    CsvReader reader(in);
-
-    if (options.has_header) {
-        if (!reader.nextRow())
-            fatal("Azure CSV is empty");
-    }
-
-    std::unique_ptr<Trace> trace;
-    std::size_t minute_columns = 0;
-
-    while (auto row = reader.nextRow()) {
-        if (row->size() <= options.metadata_columns) {
-            fatal("Azure CSV row ", reader.rowsRead(),
-                  " has no invocation columns");
-        }
-        const std::size_t counts = row->size() - options.metadata_columns;
-        if (!trace) {
-            minute_columns = counts;
-            trace = std::make_unique<Trace>(minute_columns, kMsPerMinute);
-        } else if (counts != minute_columns) {
-            fatal("Azure CSV row ", reader.rowsRead(), " has ", counts,
-                  " minute columns, expected ", minute_columns);
-        }
-
-        FunctionSeries series;
-        series.name = options.metadata_columns > 0 ? (*row)[0]
-                                                   : std::string("fn");
-        series.memory_mb = options.default_memory_mb;
-        series.avg_exec_ms = options.default_exec_ms;
-        // Optional numeric metadata: col 1 = memory MB, col 2 = avg
-        // execution ms (the layout writeAzureCsv produces).
-        if (options.metadata_columns >= 2 && !(*row)[1].empty()) {
-            series.memory_mb =
-                csvToInt((*row)[1], "Azure CSV memory column");
-        }
-        if (options.metadata_columns >= 3 && !(*row)[2].empty()) {
-            series.avg_exec_ms =
-                csvToInt((*row)[2], "Azure CSV exec-time column");
-        }
-
-        series.concurrency.reserve(minute_columns);
-        for (std::size_t i = 0; i < minute_columns; ++i) {
-            const std::int64_t count = csvToInt(
-                (*row)[options.metadata_columns + i],
-                "Azure CSV invocation count");
-            if (count < 0)
-                fatal("negative invocation count in Azure CSV");
-            series.concurrency.push_back(
-                static_cast<std::uint32_t>(count));
-        }
-        trace->addFunction(std::move(series));
-        if (options.max_functions > 0 &&
-            trace->numFunctions() >= options.max_functions) {
-            break;
-        }
-    }
-
-    if (!trace)
-        fatal("Azure CSV contained no data rows");
-    return std::move(*trace);
+    AzureCsvRowStream rows(in, options);
+    return materializeRows(rows, "Azure CSV");
 }
 
 Trace
@@ -81,7 +51,8 @@ loadAzureCsvFile(const std::string &path, const AzureLoadOptions &options)
     std::ifstream in(path);
     if (!in)
         fatal("cannot open Azure trace file '", path, "'");
-    return loadAzureCsv(in, options);
+    AzureCsvRowStream rows(in, options, path);
+    return materializeRows(rows, path);
 }
 
 void

@@ -33,12 +33,9 @@ SyntheticTraceGenerator::SyntheticTraceGenerator(SyntheticConfig config)
         fatal("synthetic class fractions exceed 1.0");
 }
 
-Trace
-SyntheticTraceGenerator::generate() const
+std::vector<FunctionClass>
+SyntheticTraceGenerator::classPlan(Rng &master) const
 {
-    Trace trace(config_.num_intervals, config_.interval_ms);
-    Rng master(config_.seed);
-
     const std::size_t n = config_.num_functions;
     const auto count_of = [n](double frac) {
         return static_cast<std::size_t>(frac * static_cast<double>(n) + 0.5);
@@ -66,6 +63,17 @@ SyntheticTraceGenerator::generate() const
             shuffler.uniformInt(0, static_cast<std::int64_t>(i)));
         std::swap(classes[i], classes[j]);
     }
+    return classes;
+}
+
+Trace
+SyntheticTraceGenerator::generate() const
+{
+    Trace trace(config_.num_intervals, config_.interval_ms);
+    Rng master(config_.seed);
+
+    const std::size_t n = config_.num_functions;
+    const std::vector<FunctionClass> classes = classPlan(master);
 
     for (std::size_t i = 0; i < n; ++i) {
         FunctionSeries series = makeSeries(classes[i], master.fork(i + 1));
@@ -262,6 +270,80 @@ SyntheticTraceGenerator::makeSeries(FunctionClass cls, Rng rng) const
         panic("cannot generate an Unknown-class series");
     }
     return series;
+}
+
+SyntheticRowStream::SyntheticRowStream(SyntheticConfig config)
+    : generator_(std::move(config)), master_(generator_.config().seed)
+{
+    // Same RNG choreography as generate(): the class-plan shuffle
+    // forks (and thereby advances) the master stream once, then every
+    // function forks it in id order — so function i's series here is
+    // byte-identical to function i of the materialized trace.
+    classes_ = generator_.classPlan(master_);
+}
+
+TimeMs
+SyntheticRowStream::intervalMs() const
+{
+    return generator_.config().interval_ms;
+}
+
+bool
+SyntheticRowStream::next(FunctionRow &row)
+{
+    const std::size_t i = next_fn_;
+    if (i >= generator_.config().num_functions)
+        return false;
+    scratch_ =
+        generator_.makeSeries(classes_[i], master_.fork(i + 1));
+    name_ = "fn-" + std::to_string(i);
+    ++next_fn_;
+
+    row.id = static_cast<FunctionId>(i);
+    row.name = name_;
+    row.cls = scratch_.cls;
+    row.memory_mb = scratch_.memory_mb;
+    row.avg_exec_ms = scratch_.avg_exec_ms;
+    row.counts = scratch_.concurrency.data();
+    row.num_intervals = scratch_.concurrency.size();
+    return true;
+}
+
+SyntheticConfig
+azureScaleConfig(std::size_t num_functions, std::size_t num_intervals)
+{
+    SyntheticConfig config;
+    config.num_functions = num_functions;
+    config.num_intervals = num_intervals;
+    config.seed = 0xA2A5'CA1Eull;
+
+    // The published trace shape (Shahrad et al., Figs. 1-3): nearly
+    // half of all functions are invoked about once a day, the hot
+    // head is strongly periodic at sub-day periods, and a small
+    // hard-to-predict remainder carries Poisson-like arrivals. The
+    // fractions below put the mean at a few dozen invocations per
+    // function-day with a heavy head/tail skew.
+    config.frac_infrequent = 0.45;
+    config.frac_multi_harmonic = 0.12;
+    config.frac_period_shift = 0.04;
+    config.frac_spiky = 0.04;
+    config.frac_random = 0.05; // remainder (0.30) -> Periodic
+
+    // Day-scale burst periods instead of the figure workloads'
+    // within-the-hour cadence.
+    config.min_period = 30.0;
+    config.max_period = 720.0;
+    config.min_mod_period = 180.0;
+    config.max_mod_period = 1440.0;
+
+    // Resource hints spanning the four SeBS application categories
+    // (web: tiny/fast ... inference: multi-GB, tens of seconds), so
+    // the matcher spreads functions across the whole pool.
+    config.min_memory_mb = 128;
+    config.max_memory_mb = 3008; // the Lambda/Azure allocation cap
+    config.min_exec_ms = 50;
+    config.max_exec_ms = 30'000;
+    return config;
 }
 
 std::vector<double>

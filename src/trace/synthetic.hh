@@ -23,6 +23,7 @@
 #include <cstdint>
 
 #include "common/rng.hh"
+#include "trace/stream_reader.hh"
 #include "trace/trace.hh"
 
 namespace iceb::trace
@@ -94,11 +95,55 @@ class SyntheticTraceGenerator
     const SyntheticConfig &config() const { return config_; }
 
   private:
+    friend class SyntheticRowStream;
+
+    std::vector<FunctionClass> classPlan(Rng &master) const;
     FunctionSeries makeSeries(FunctionClass cls, Rng rng) const;
     void fillResourceHints(FunctionSeries &series, Rng &rng) const;
 
     SyntheticConfig config_;
 };
+
+/**
+ * Streams the exact functions generate() would produce, one at a
+ * time, without materializing the trace: function i of the stream is
+ * byte-identical (name, hints, concurrency) to function i of the
+ * generated Trace for the same config. This is the workload source
+ * for Azure-scale runs that would not fit in memory as a Trace.
+ */
+class SyntheticRowStream final : public FunctionRowSource
+{
+  public:
+    explicit SyntheticRowStream(SyntheticConfig config = {});
+
+    TimeMs intervalMs() const override;
+    bool next(FunctionRow &row) override;
+
+    std::size_t numFunctions() const
+    {
+        return generator_.config().num_functions;
+    }
+
+  private:
+    SyntheticTraceGenerator generator_;
+    Rng master_;
+    std::vector<FunctionClass> classes_;
+    FunctionSeries scratch_;
+    std::string name_;
+    std::size_t next_fn_ = 0;
+};
+
+/**
+ * Synthetic preset shaped like the full Azure Functions trace
+ * (Shahrad et al., ATC'20) rather than the small figure workloads:
+ * a heavy tail of rarely-invoked functions, a skewed head of hot
+ * periodic ones, day-scale periods, and memory/exec hint ranges that
+ * span all four SeBS application categories
+ * (workload::sebsCategoryProfiles) so the profile matcher exercises
+ * the whole pool. Deterministic for a given function count.
+ */
+SyntheticConfig azureScaleConfig(std::size_t num_functions = 100'000,
+                                 std::size_t num_intervals = 1440);
 
 /**
  * The specific series used by Figs. 4(b) and 10: a sinusoidal

@@ -121,6 +121,82 @@ BenchmarkSuite::standard()
     return BenchmarkSuite(std::move(pool));
 }
 
+const char *
+sebsCategoryName(SebsCategory category)
+{
+    switch (category) {
+      case SebsCategory::Web:
+        return "web";
+      case SebsCategory::Multimedia:
+        return "multimedia";
+      case SebsCategory::Utilities:
+        return "utilities";
+      case SebsCategory::Inference:
+        return "inference";
+    }
+    return "unknown";
+}
+
+std::vector<FunctionProfile>
+sebsCategoryProfiles(SebsCategory category)
+{
+    // SeBS groups its applications into these four categories; the
+    // numbers follow each group's published character — webapps are
+    // short and tiny, multimedia is I/O-heavy and mid-weight,
+    // utilities span compression/visualisation batch jobs, inference
+    // pays a large model-load cold start then runs briefly. Low-end
+    // slowdowns keep Table 1's pattern: modest for I/O- and
+    // setup-bound functions, 2.5-4x for the compute-bound minority.
+    std::vector<FunctionProfile> pool;
+    switch (category) {
+      case SebsCategory::Web:
+        pool.push_back(makeProfile("sebs/web/dynamic-html", 128,
+                                   0.65, 0.11, 0.58, 0.08));
+        pool.push_back(makeProfile("sebs/web/uploader", 256,
+                                   0.80, 0.55, 0.70, 0.42));
+        pool.push_back(makeProfile("sebs/web/crud-api", 192,
+                                   0.72, 0.24, 0.64, 0.18));
+        break;
+      case SebsCategory::Multimedia:
+        pool.push_back(makeProfile("sebs/multimedia/thumbnailer", 512,
+                                   1.10, 0.72, 0.95, 0.55));
+        pool.push_back(makeProfile("sebs/multimedia/video-processing",
+                                   2048, 2.30, 5.10, 1.95, 3.90));
+        pool.push_back(makeProfile("sebs/multimedia/gif-transcode", 1024,
+                                   1.60, 2.40, 1.40, 1.80));
+        break;
+      case SebsCategory::Utilities:
+        pool.push_back(makeProfile("sebs/utilities/compression", 768,
+                                   1.00, 3.60, 0.90, 1.30));
+        pool.push_back(makeProfile("sebs/utilities/data-vis", 896,
+                                   1.30, 1.90, 1.10, 1.45));
+        pool.push_back(makeProfile("sebs/utilities/graph-bfs", 1536,
+                                   1.50, 4.80, 1.30, 1.90));
+        break;
+      case SebsCategory::Inference:
+        pool.push_back(makeProfile("sebs/inference/image-recognition",
+                                   3008, 3.10, 1.20, 2.70, 0.95));
+        pool.push_back(makeProfile("sebs/inference/sentiment", 1280,
+                                   2.20, 0.80, 1.95, 0.62));
+        break;
+    }
+    ICEB_ASSERT(!pool.empty(), "unknown SeBS category");
+    return pool;
+}
+
+BenchmarkSuite
+BenchmarkSuite::sebs()
+{
+    std::vector<FunctionProfile> pool;
+    for (std::size_t c = 0; c < kNumSebsCategories; ++c) {
+        std::vector<FunctionProfile> category =
+            sebsCategoryProfiles(static_cast<SebsCategory>(c));
+        for (FunctionProfile &p : category)
+            pool.push_back(std::move(p));
+    }
+    return BenchmarkSuite(std::move(pool));
+}
+
 BenchmarkSuite::BenchmarkSuite(std::vector<FunctionProfile> profiles)
     : profiles_(std::move(profiles))
 {

@@ -25,11 +25,39 @@ namespace iceb::workload
 /**
  * Immutable pool of benchmark profiles.
  */
+/**
+ * SeBS application categories (Copik et al., Middleware'21). The
+ * Azure-scale synthetic preset draws its function-profile mix from
+ * these four groups, the same taxonomy the SeBS suite uses to cover
+ * the serverless application space.
+ */
+enum class SebsCategory
+{
+    Web,        //!< webapps: dynamic HTML, uploads, auth
+    Multimedia, //!< thumbnailing, video processing
+    Utilities,  //!< compression, data visualisation, graph jobs
+    Inference,  //!< ML inference (image recognition etc.)
+};
+
+/** Number of SebsCategory values. */
+inline constexpr std::size_t kNumSebsCategories = 4;
+
+/** Stable lower-case name of a category ("web", "multimedia", ...). */
+const char *sebsCategoryName(SebsCategory category);
+
+/** The category's function profiles (cold start, exec, memory ranges
+ * characteristic of that SeBS group; both tiers populated). */
+std::vector<FunctionProfile> sebsCategoryProfiles(SebsCategory category);
+
 class BenchmarkSuite
 {
   public:
     /** Build the default ServerlessBench-like pool. */
     static BenchmarkSuite standard();
+
+    /** All four SeBS category pools combined, category order fixed
+     * (Web, Multimedia, Utilities, Inference). */
+    static BenchmarkSuite sebs();
 
     /** Construct from an explicit profile list. */
     explicit BenchmarkSuite(std::vector<FunctionProfile> profiles);

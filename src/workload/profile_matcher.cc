@@ -41,16 +41,22 @@ ProfileMatcher::matchIndex(MemoryMb memory_mb, TimeMs exec_ms) const
 FunctionProfile
 ProfileMatcher::profileFor(const trace::FunctionSeries &fn) const
 {
-    const MemoryMb mem =
-        fn.memory_mb > 0 ? fn.memory_mb : MemoryMb{256};
-    const TimeMs exec = fn.avg_exec_ms > 0 ? fn.avg_exec_ms : TimeMs{1000};
+    return profileFor(fn.name, fn.memory_mb, fn.avg_exec_ms);
+}
+
+FunctionProfile
+ProfileMatcher::profileFor(const std::string &name, MemoryMb memory_mb,
+                           TimeMs exec_ms) const
+{
+    const MemoryMb mem = memory_mb > 0 ? memory_mb : MemoryMb{256};
+    const TimeMs exec = exec_ms > 0 ? exec_ms : TimeMs{1000};
     const std::size_t index = matchIndex(mem, exec);
     const FunctionProfile &base = suite_.profile(index);
 
     FunctionProfile out = base;
-    out.name = fn.name.empty()
+    out.name = name.empty()
         ? base.name
-        : fn.name + " (" + base.name + ")";
+        : name + " (" + base.name + ")";
     if (mode_ == MatchMode::ProfileOnly)
         return out;
 

@@ -57,6 +57,14 @@ class ProfileMatcher
     /** Materialised profile for one trace function. */
     FunctionProfile profileFor(const trace::FunctionSeries &fn) const;
 
+    /**
+     * Materialised profile from bare metadata (name + resource
+     * hints), for streamed workloads that never build FunctionSeries.
+     * Identical output to the series overload for equal inputs.
+     */
+    FunctionProfile profileFor(const std::string &name,
+                               MemoryMb memory_mb, TimeMs exec_ms) const;
+
     /** Profiles for every function in a trace, indexed by id. */
     std::vector<FunctionProfile> profilesFor(const trace::Trace &tr) const;
 

@@ -155,17 +155,17 @@ TEST(ShardPlanTest, ClampsToSmallestPopulatedTier)
     // Default geometry: HighEnd 10 servers, LowEnd 18. Every cell
     // must own a server of EVERY tier, so 10 bounds the auto count.
     const ShardPlan plan =
-        ShardPlan::build(w.tr, defaultHeterogeneousCluster());
+        ShardPlan::build(w.tr.numFunctions(), defaultHeterogeneousCluster());
     EXPECT_EQ(plan.num_cells, 10u);
 
     // An explicit request below the bound is honoured as-is.
     const ShardPlan small =
-        ShardPlan::build(w.tr, defaultHeterogeneousCluster(), 4);
+        ShardPlan::build(w.tr.numFunctions(), defaultHeterogeneousCluster(), 4);
     EXPECT_EQ(small.num_cells, 4u);
 
     // A request above it is clamped back down.
     const ShardPlan big =
-        ShardPlan::build(w.tr, defaultHeterogeneousCluster(), 64);
+        ShardPlan::build(w.tr.numFunctions(), defaultHeterogeneousCluster(), 64);
     EXPECT_EQ(big.num_cells, 10u);
 }
 
@@ -173,7 +173,7 @@ TEST(ShardPlanTest, ClampsToFunctionCount)
 {
     const TestWorkload w = churnWorkload(3);
     const ShardPlan plan =
-        ShardPlan::build(w.tr, defaultHeterogeneousCluster());
+        ShardPlan::build(w.tr.numFunctions(), defaultHeterogeneousCluster());
     EXPECT_EQ(plan.num_cells, 3u);
 }
 
@@ -181,7 +181,7 @@ TEST(ShardPlanTest, CellConfigSplitsServersAcrossCells)
 {
     const TestWorkload w = churnWorkload();
     const ClusterConfig cluster = testCluster(); // 6 high, 9 low
-    const ShardPlan plan = ShardPlan::build(w.tr, cluster, 4);
+    const ShardPlan plan = ShardPlan::build(w.tr.numFunctions(), cluster, 4);
     ASSERT_EQ(plan.num_cells, 4u);
 
     std::size_t high_total = 0;
@@ -212,7 +212,7 @@ TEST(ShardPlanTest, CellOfCoversEveryCell)
 {
     const TestWorkload w = churnWorkload(24);
     const ShardPlan plan =
-        ShardPlan::build(w.tr, defaultHeterogeneousCluster(), 5);
+        ShardPlan::build(w.tr.numFunctions(), defaultHeterogeneousCluster(), 5);
     std::vector<std::size_t> population(plan.num_cells, 0);
     for (FunctionId fn = 0; fn < 24; ++fn) {
         ASSERT_LT(plan.cellOf(fn), plan.num_cells);
