@@ -34,7 +34,13 @@
  *   --smoke                         small workload + forced spill;
  *                                   correctness gates only
  *   --baseline PATH                 gate against the committed
- *                                   BENCH_scale.json: [metrics digest]
+ *                                   BENCH_scale.json: [telemetry
+ *                                   overhead] -- the histograms-on/off
+ *                                   events/s ratio of the streamed
+ *                                   core must stay within 2% of 1.0
+ *                                   (best of up to 5 rounds, measured
+ *                                   in the streamed phase);
+ *                                   [metrics digest]
  *                                   -- the fixed-geometry streamed
  *                                   sharded digest must match exactly
  *                                   (machine-independent); [stream
@@ -64,6 +70,7 @@
 
 #include "core/icebreaker.hh"
 #include "harness/baseline_gate.hh"
+#include "obs/recorder.hh"
 #include "policies/openwhisk_policy.hh"
 #include "sim/cluster_config.hh"
 #include "sim/sharded_simulator.hh"
@@ -320,6 +327,14 @@ struct FixedRow
     std::string metrics_digest;
 };
 
+/** The telemetry-overhead row: histograms on vs off, streamed core. */
+struct TelemetryRow
+{
+    double events_per_sec_off = 0.0;
+    double events_per_sec_on = 0.0;
+    double overhead_ratio = 0.0; //!< on / off (1.0 = free)
+};
+
 // ---------------------------------------------------------------- phases
 
 /**
@@ -399,7 +414,8 @@ writeJson(const BenchConfig &cfg, std::uint64_t arrivals,
           std::size_t spill_runs, std::uint64_t spilled_bytes,
           const IngestRow &materialize, const RunRow &streamed,
           const RunRow &materialized, bool agree, bool sharded_agree,
-          long long hinted_allocs, const FixedRow &fixed)
+          long long hinted_allocs, const FixedRow &fixed,
+          const TelemetryRow &telemetry)
 {
     const double rss_ratio = streamed.peak_rss_kb > 0
         ? static_cast<double>(materialized.peak_rss_kb) /
@@ -443,6 +459,11 @@ writeJson(const BenchConfig &cfg, std::uint64_t arrivals,
     out << "  \"sharded_agreement\": "
         << (sharded_agree ? "true" : "false") << ",\n";
     out << "  \"allocations\": {\"hinted_run\": " << hinted_allocs
+        << "},\n";
+    out << "  \"telemetry\": {\"events_per_sec_off\": "
+        << telemetry.events_per_sec_off
+        << ", \"events_per_sec_on\": " << telemetry.events_per_sec_on
+        << ", \"overhead_ratio\": " << telemetry.overhead_ratio
         << "},\n";
     out << "  \"fixed\": {\"functions\": " << kFixedFunctions
         << ", \"intervals\": " << kFixedIntervals
@@ -567,6 +588,7 @@ main(int argc, char **argv)
     long long hinted_allocs = 0;
     double streamed_best_ms = 0.0;
     sim::SimCapacityHints hints;
+    TelemetryRow telemetry;
     {
         const auto ingest_start = Clock::now();
         trace::SyntheticRowStream rows(workload_config);
@@ -639,6 +661,60 @@ main(int argc, char **argv)
         // runs; the sharded agreement run below allocates per-cell
         // engine state that belongs to neither pipeline.
         streamed.peak_rss_kb = peakRssKb();
+
+        // Telemetry overhead row: the same hinted streamed run with
+        // latency histograms attached, best-of-N on both sides so the
+        // ratio is a ratio of minima. Re-measure-on-miss happens here
+        // (not in the gate block) while the source is still alive.
+        {
+            obs::ObsConfig obs_config;
+            obs_config.histograms = true;
+            obs::RunRecorder recorder(obs_config);
+            sim::SimulatorOptions plain_options;
+            plain_options.hints = hints;
+            sim::SimulatorOptions hist_options;
+            hist_options.hints = hints;
+            hist_options.recorder = &recorder;
+            const auto measure = [&] {
+                TelemetryRow row;
+                const double off_ms = bestOfMs(
+                    [&] {
+                        (void)sim::runSimulation(source, profiles,
+                                                 cluster, policy,
+                                                 plain_options);
+                    },
+                    cfg.repeats);
+                const double on_ms = bestOfMs(
+                    [&] {
+                        (void)sim::runSimulation(source, profiles,
+                                                 cluster, policy,
+                                                 hist_options);
+                    },
+                    cfg.repeats);
+                row.events_per_sec_off =
+                    static_cast<double>(events) / (off_ms / 1000.0);
+                row.events_per_sec_on =
+                    static_cast<double>(events) / (on_ms / 1000.0);
+                row.overhead_ratio =
+                    row.events_per_sec_on / row.events_per_sec_off;
+                return row;
+            };
+            telemetry = measure();
+            for (int round = 2;
+                 telemetry.overhead_ratio < 0.98 && round <= 5;
+                 ++round) {
+                const TelemetryRow again = measure();
+                std::printf("telemetry re-measure round %d: %.5f\n",
+                            round, again.overhead_ratio);
+                if (again.overhead_ratio > telemetry.overhead_ratio)
+                    telemetry = again;
+            }
+        }
+        std::printf("telemetry: %8.0f events/sec histograms off, "
+                    "%8.0f events/sec on (ratio %.4f)\n",
+                    telemetry.events_per_sec_off,
+                    telemetry.events_per_sec_on,
+                    telemetry.overhead_ratio);
 
         // Sharded engine fed by the streamed source (the coordinator
         // scatters each global window to the cells). OpenWhisk keeps
@@ -747,7 +823,8 @@ main(int argc, char **argv)
 
     writeJson(cfg, arrivals, invocations, events, csv, stream_ingest,
               spill_runs, spilled_bytes, materialize, streamed,
-              materialized, agree, sharded_agree, hinted_allocs, fixed);
+              materialized, agree, sharded_agree, hinted_allocs, fixed,
+              telemetry);
     std::printf("wrote %s\n", cfg.json_path.c_str());
 
     // ------------------------------------------------------------ gates
@@ -792,6 +869,20 @@ main(int argc, char **argv)
         if (!digest_gate.ok) {
             std::fprintf(stderr, "FAIL: %s\n",
                          digest_gate.message.c_str());
+            return 1;
+        }
+
+        // Telemetry gates against 1.0, not the baseline file: the
+        // histogram pillar must stay within 2% of free on the
+        // streamed core (re-measure rounds already ran in the
+        // streamed phase). Geometry-independent, so smoke runs gate
+        // it too.
+        const harness::GateResult telemetry_gate = harness::gateRatio(
+            "telemetry overhead", telemetry.overhead_ratio, 1.0, 0.02);
+        std::printf("%s\n", telemetry_gate.message.c_str());
+        if (!telemetry_gate.ok) {
+            std::fprintf(stderr, "FAIL: %s\n",
+                         telemetry_gate.message.c_str());
             return 1;
         }
 

@@ -44,6 +44,13 @@
  *                                   this ratio is a machine-
  *                                   independent ceiling on what the
  *                                   boundary may cost.
+ *                                   [telemetry overhead] -- the
+ *                                   histograms-on/off events/s ratio
+ *                                   must stay within 2% of 1.0 (same
+ *                                   best-of-rounds retry discipline;
+ *                                   the bound is a property of the
+ *                                   build, so it gates against 1.0
+ *                                   rather than the baseline file).
  *                                   [metrics digest] -- the sharded
  *                                   engine's metrics digest (computed
  *                                   on a FIXED workload geometry,
@@ -78,6 +85,7 @@
 #include "core/icebreaker.hh"
 #include "harness/baseline_gate.hh"
 #include "legacy_sim.hh"
+#include "obs/recorder.hh"
 #include "policies/openwhisk_policy.hh"
 #include "sim/sharded_simulator.hh"
 #include "sim/simulator.hh"
@@ -313,6 +321,19 @@ runLive(const BenchWorkload &w, const sim::SimCapacityHints &hints = {})
     return sim.run();
 }
 
+/** The live core with latency histograms attached (telemetry row). */
+sim::SimulationMetrics
+runLiveHist(const BenchWorkload &w, const sim::SimCapacityHints &hints,
+            obs::RunRecorder &recorder)
+{
+    policies::OpenWhiskPolicy policy;
+    sim::SimulatorOptions options;
+    options.hints = hints;
+    options.recorder = &recorder;
+    sim::Simulator sim(w.tr, w.profiles, w.cluster, policy, options);
+    return sim.run();
+}
+
 // ------------------------------------------------------- sharded row
 //
 // The sharded-engine row runs IceBreaker (the paper scheme, and a
@@ -411,6 +432,14 @@ timeCore(RunFn &&run_fn, std::size_t repeats, std::size_t threads,
 
 // ----------------------------------------------------------------- json
 
+/** The telemetry-overhead row: histograms on vs off on the live core. */
+struct TelemetryRow
+{
+    double events_per_sec_off = 0.0;
+    double events_per_sec_on = 0.0;
+    double overhead_ratio = 0.0; //!< on / off (1.0 = free)
+};
+
 /** The sharded-engine row of the JSON report. */
 struct ShardedRow
 {
@@ -428,8 +457,9 @@ void
 writeJson(const BenchConfig &cfg, std::uint64_t events,
           std::uint64_t invocations, const CoreTiming &legacy,
           const CoreTiming &live, bool agree, long long calib_allocs,
-          long long hinted_allocs, const sim::EventLoopStats &stats,
-          const ShardedRow &sharded)
+          long long hinted_allocs, long long hinted_hist_allocs,
+          const sim::EventLoopStats &stats, const ShardedRow &sharded,
+          const TelemetryRow &telemetry)
 {
     std::ofstream out(cfg.json_path);
     out << "{\n";
@@ -451,9 +481,15 @@ writeJson(const BenchConfig &cfg, std::uint64_t events,
         << live.events_per_sec / legacy.events_per_sec << ",\n";
     out << "  \"allocations\": {\"calibration_run\": " << calib_allocs
         << ", \"hinted_run\": " << hinted_allocs
+        << ", \"hinted_run_histograms\": " << hinted_hist_allocs
         << ", \"hinted_per_invocation\": "
         << static_cast<double>(hinted_allocs) /
             static_cast<double>(invocations)
+        << "},\n";
+    out << "  \"telemetry\": {\"events_per_sec_off\": "
+        << telemetry.events_per_sec_off
+        << ", \"events_per_sec_on\": " << telemetry.events_per_sec_on
+        << ", \"overhead_ratio\": " << telemetry.overhead_ratio
         << "},\n";
     out << "  \"sharded\": {\"scheme\": \"icebreaker\""
         << ", \"functions\": " << kShardedFunctions
@@ -618,11 +654,32 @@ main(int argc, char **argv)
         hinted_allocs =
             g_alloc_count.load(std::memory_order_relaxed) - before;
     }
+    // The same hinted run with latency histograms attached: record()
+    // is array increments into a preconstructed set, so telemetry must
+    // not reintroduce steady-state allocations (recorder construction
+    // sits outside the counted region, like the hints).
+    long long hinted_hist_allocs = 0;
+    {
+        policies::OpenWhiskPolicy policy;
+        obs::ObsConfig obs_config;
+        obs_config.histograms = true;
+        obs::RunRecorder recorder(obs_config);
+        sim::SimulatorOptions options;
+        options.hints = hints;
+        options.recorder = &recorder;
+        sim::Simulator sim(w.tr, w.profiles, w.cluster, policy, options);
+        const long long before =
+            g_alloc_count.load(std::memory_order_relaxed);
+        (void)sim.run();
+        hinted_hist_allocs =
+            g_alloc_count.load(std::memory_order_relaxed) - before;
+    }
     std::printf("allocations in run(): calibration %lld, hinted %lld "
-                "(%.6f per invocation)\n",
+                "(%.6f per invocation), hinted+histograms %lld\n",
                 calib_allocs, hinted_allocs,
                 static_cast<double>(hinted_allocs) /
-                    static_cast<double>(invocations));
+                    static_cast<double>(invocations),
+                hinted_hist_allocs);
 
     // ----------------------------------------------------------- timing
     // One untimed warmup of each core, then the timed batches.
@@ -641,6 +698,34 @@ main(int argc, char **argv)
     std::printf("live:   %8.0f events/sec  (%7.1f ns/event)\n",
                 live_timing.events_per_sec, live_timing.ns_per_event);
     std::printf("speedup vs legacy: %.2fx\n", speedup);
+
+    // --------------------------------------------- telemetry overhead
+    // Histograms on vs off on the hinted live core, single-threaded
+    // best-of-N on both sides so the overhead ratio is a ratio of two
+    // minima (same estimator as the legacy/live gate). The recorder
+    // persists across repeats: construction is setup cost, and
+    // record() cost does not depend on accumulated counts.
+    obs::ObsConfig telemetry_config;
+    telemetry_config.histograms = true;
+    obs::RunRecorder telemetry_recorder(telemetry_config);
+    (void)runLiveHist(w, hints, telemetry_recorder); // warmup
+    const auto measureTelemetry = [&] {
+        const CoreTiming off = timeCore(
+            [&] { (void)runLive(w, hints); }, cfg.repeats, 1, events);
+        const CoreTiming on = timeCore(
+            [&] { (void)runLiveHist(w, hints, telemetry_recorder); },
+            cfg.repeats, 1, events);
+        TelemetryRow row;
+        row.events_per_sec_off = off.events_per_sec;
+        row.events_per_sec_on = on.events_per_sec;
+        row.overhead_ratio = on.events_per_sec / off.events_per_sec;
+        return row;
+    };
+    TelemetryRow telemetry = measureTelemetry();
+    std::printf("telemetry: %8.0f events/sec histograms off, %8.0f "
+                "events/sec on (ratio %.4f)\n",
+                telemetry.events_per_sec_off,
+                telemetry.events_per_sec_on, telemetry.overhead_ratio);
 
     // ------------------------------------------------- sharded row
     // Fixed geometry (see kSharded* above): its digest is comparable
@@ -690,8 +775,8 @@ main(int argc, char **argv)
                 sharded.intra_run_speedup, sharded.host_cpus);
 
     writeJson(cfg, events, invocations, legacy_timing, live_timing,
-              agree, calib_allocs, hinted_allocs,
-              live_metrics.event_loop, sharded);
+              agree, calib_allocs, hinted_allocs, hinted_hist_allocs,
+              live_metrics.event_loop, sharded, telemetry);
     std::printf("wrote %s\n", cfg.json_path.c_str());
 
     if (!agree) {
@@ -702,6 +787,13 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "FAIL: hinted run() performed %lld allocations\n",
                      hinted_allocs);
+        return 1;
+    }
+    if (hinted_hist_allocs != 0) {
+        std::fprintf(stderr,
+                     "FAIL: hinted run() with histograms performed "
+                     "%lld allocations\n",
+                     hinted_hist_allocs);
         return 1;
     }
     if (!sharded_agree) {
@@ -754,6 +846,30 @@ main(int argc, char **argv)
         if (!ratio_gate.ok) {
             std::fprintf(stderr, "FAIL: %s\n",
                          ratio_gate.message.c_str());
+            return 1;
+        }
+
+        // Telemetry gates against 1.0, not the baseline file: the
+        // histogram pillar must stay within 2% of free, which is a
+        // property of the build, not of this machine. Same
+        // re-measure-on-miss discipline as the speedup gate.
+        TelemetryRow best_telemetry = telemetry;
+        for (int round = 2;
+             best_telemetry.overhead_ratio < 0.98 && round <= 5;
+             ++round) {
+            const TelemetryRow again = measureTelemetry();
+            std::printf("telemetry re-measure round %d: %.5f\n", round,
+                        again.overhead_ratio);
+            if (again.overhead_ratio > best_telemetry.overhead_ratio)
+                best_telemetry = again;
+        }
+        const harness::GateResult telemetry_gate = harness::gateRatio(
+            "telemetry overhead", best_telemetry.overhead_ratio, 1.0,
+            0.02);
+        std::printf("%s\n", telemetry_gate.message.c_str());
+        if (!telemetry_gate.ok) {
+            std::fprintf(stderr, "FAIL: %s\n",
+                         telemetry_gate.message.c_str());
             return 1;
         }
 

@@ -61,6 +61,7 @@ usage(const char *prog, int status)
         << "  --trace-out F     write Chrome trace_event JSON "
            "(Perfetto-viewable)\n"
         << "  --probe-out F     write interval/forecast probes as CSV\n"
+        << "  --hist-out F      write latency histograms as tidy CSV\n"
         << "  --manifest-out F  write one JSON manifest line per run\n"
         << "  --help        this message\n"
         << "\nOutput (stdout and observability files) is "
@@ -148,6 +149,8 @@ parseBenchOptions(int argc, char **argv)
             options.observation.trace_path = value(arg);
         } else if (arg == "--probe-out") {
             options.observation.probe_path = value(arg);
+        } else if (arg == "--hist-out") {
+            options.observation.hist_path = value(arg);
         } else if (arg == "--manifest-out") {
             options.observation.manifest_path = value(arg);
         } else {

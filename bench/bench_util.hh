@@ -55,6 +55,7 @@ iceb::harness::Workload sweepWorkload();
  *   --smoke           shrunken workload for CI smoke runs
  *   --trace-out F     write a Chrome trace_event JSON of every run
  *   --probe-out F     write interval/forecast probe series as CSV
+ *   --hist-out F      write latency histograms as tidy CSV
  *   --manifest-out F  write one JSON manifest line per run
  */
 struct BenchOptions

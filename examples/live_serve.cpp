@@ -17,8 +17,13 @@
  *                     0 = as fast as possible)
  *   --probe-out FILE  stream per-interval probe CSV (tail -f friendly)
  *   --trace-out FILE  write a Chrome trace of the replay
+ *   --stats-json FILE rewrite a JSON stats snapshot every interval
+ *                     (counters + histogram digests; CI-friendly)
+ *   --stats-port N    serve Prometheus text on localhost:N while the
+ *                     replay runs (0 = pick an ephemeral port)
  *   --intervals N     workload length in decision intervals (def. 240)
  *   --functions N     workload size in functions (default 100)
+ *   --smoke           small workload (48 fns x 60 intervals) for CI
  */
 
 #include <cstdlib>
@@ -32,6 +37,7 @@
 #include "harness/experiment.hh"
 #include "harness/registry.hh"
 #include "serve/drivers.hh"
+#include "serve/stats_exporter.hh"
 
 namespace
 {
@@ -43,6 +49,8 @@ struct Cli
     double pace = 0.0;
     std::string probe_out;
     std::string trace_out;
+    std::string stats_json;
+    int stats_port = -1;
     std::size_t intervals = 240;
     std::size_t functions = 100;
 };
@@ -82,6 +90,16 @@ parseCli(int argc, char **argv)
             cli.probe_out = value();
         } else if (arg == "--trace-out") {
             cli.trace_out = value();
+        } else if (arg == "--stats-json") {
+            cli.stats_json = value();
+        } else if (arg == "--stats-port") {
+            cli.stats_port = static_cast<int>(
+                number([](const std::string &s, std::size_t *n) {
+                    return std::stoul(s, n);
+                }));
+        } else if (arg == "--smoke") {
+            cli.intervals = 60;
+            cli.functions = 48;
         } else if (arg == "--intervals") {
             cli.intervals =
                 number([](const std::string &s, std::size_t *n) {
@@ -139,6 +157,19 @@ main(int argc, char **argv)
     if (!cli.trace_out.empty()) {
         trace_file.open(cli.trace_out);
         options.chrome_trace = &trace_file;
+    }
+    std::unique_ptr<serve::StatsExporter> stats;
+    if (!cli.stats_json.empty() || cli.stats_port >= 0) {
+        serve::StatsExporterOptions stats_options;
+        stats_options.json_path = cli.stats_json;
+        stats_options.http_port = cli.stats_port;
+        stats = std::make_unique<serve::StatsExporter>(stats_options);
+        options.stats = stats.get();
+        if (stats->port() >= 0) {
+            std::cout << "serving Prometheus text on "
+                      << "http://localhost:" << stats->port()
+                      << "/metrics\n";
+        }
     }
     const std::size_t report_every =
         cli.intervals >= 8 ? cli.intervals / 8 : 1;

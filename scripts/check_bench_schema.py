@@ -11,10 +11,13 @@ re-running with --update.
 
 Usage:
     check_bench_schema.py PATH_TO_BENCH [--golden PATH] [--args "..."]
-                          [--update]
+                          [--json-flag FLAG] [--update]
 
 Defaults preserve the original bench_sim invocation: golden file
-tests/golden/bench_sim_schema.txt, args "--shards 2 --smoke".
+tests/golden/bench_sim_schema.txt, args "--shards 2 --smoke", JSON
+output requested via --json. Binaries that spell the flag differently
+(live_serve writes its stats snapshot via --stats-json) pass
+--json-flag.
 """
 
 import argparse
@@ -55,6 +58,9 @@ def main(argv):
                         help="golden key-path file to compare against")
     parser.add_argument("--args", default=DEFAULT_ARGS,
                         help="bench arguments (one shell-quoted string)")
+    parser.add_argument("--json-flag", default="--json",
+                        help="flag the binary takes its JSON output "
+                             "path through (default --json)")
     parser.add_argument("--update", action="store_true",
                         help="re-bless the golden file")
     opts = parser.parse_args(argv[1:])
@@ -62,7 +68,7 @@ def main(argv):
     with tempfile.TemporaryDirectory() as tmp:
         out_path = pathlib.Path(tmp) / "bench.json"
         cmd = ([opts.bench] + shlex.split(opts.args)
-               + ["--json", str(out_path)])
+               + [opts.json_flag, str(out_path)])
         result = subprocess.run(cmd, capture_output=True, text=True)
         if result.returncode != 0:
             print(result.stdout, file=sys.stderr)

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/histogram.hh"
 #include "obs/manifest.hh"
 #include "obs/probes.hh"
 #include "obs/trace_sink.hh"
@@ -141,11 +142,38 @@ buildManifest(std::size_t index, const RunResult &result,
         if (const obs::TraceSink *sink = recorder->traceSinkIfEnabled()) {
             manifest.trace_recorded = sink->recorded();
             manifest.trace_dropped = sink->dropped();
+            for (const auto &cell : recorder->cellTraceSinks()) {
+                manifest.trace_recorded += cell->recorded();
+                manifest.trace_dropped += cell->dropped();
+            }
         }
         if (const obs::ProbeTable *probes =
                 recorder->probeTableIfEnabled()) {
             manifest.probe_samples = probes->intervalSampleCount() +
                 probes->forecastSampleCount();
+        }
+        if (const obs::HistogramSet *hists =
+                recorder->histogramsIfEnabled()) {
+            // Non-empty series only: wall timers stay out of
+            // deterministic manifests unless wall timing was on.
+            for (const obs::NamedHistogram &named :
+                 obs::namedHistograms(*hists)) {
+                const obs::LatencyHistogram &h = *named.hist;
+                if (h.count() == 0)
+                    continue;
+                obs::HistogramDigest digest;
+                digest.name = named.series;
+                if (named.tier[0] != '\0') {
+                    digest.name += '/';
+                    digest.name += named.tier;
+                }
+                digest.count = h.count();
+                digest.p50 = h.quantile(0.5);
+                digest.p95 = h.quantile(0.95);
+                digest.p99 = h.quantile(0.99);
+                digest.max = h.max();
+                manifest.histograms.push_back(std::move(digest));
+            }
         }
     }
     return manifest;
@@ -171,6 +199,8 @@ writeObservations(
             if (recorders[i] != nullptr) {
                 run.trace = recorders[i]->traceSinkIfEnabled();
                 run.probes = recorders[i]->probeTableIfEnabled();
+                for (const auto &cell : recorders[i]->cellTraceSinks())
+                    run.cells.push_back(cell.get());
             }
             runs.push_back(std::move(run));
         }
@@ -190,6 +220,20 @@ writeObservations(
         }
         std::ofstream out = openOrDie(options.probe_path);
         obs::writeProbeCsv(out, runs);
+    }
+
+    if (!options.hist_path.empty()) {
+        std::vector<obs::HistogramRun> runs;
+        runs.reserve(results.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            obs::HistogramRun run;
+            run.run = runDisplayName(results[i].spec);
+            if (recorders[i] != nullptr)
+                run.set = recorders[i]->histogramsIfEnabled();
+            runs.push_back(std::move(run));
+        }
+        std::ofstream out = openOrDie(options.hist_path);
+        obs::writeHistogramCsv(out, runs);
     }
 
     if (!options.manifest_path.empty()) {

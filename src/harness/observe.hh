@@ -28,13 +28,14 @@ struct ObservationOptions
 {
     std::string trace_path;    //!< Chrome trace_event JSON
     std::string probe_path;    //!< tidy CSV time series
+    std::string hist_path;     //!< tidy CSV latency histograms
     std::string manifest_path; //!< JSON-lines run manifests
     std::size_t trace_capacity = obs::TraceSink::kDefaultCapacity;
 
     bool enabled() const
     {
         return !trace_path.empty() || !probe_path.empty() ||
-            !manifest_path.empty();
+            !hist_path.empty() || !manifest_path.empty();
     }
 
     /** Per-run collection config implied by the destinations. */
@@ -45,6 +46,10 @@ struct ObservationOptions
         // The Chrome export renders probe samples as counter tracks,
         // so a trace request implies probe collection too.
         config.probes = !probe_path.empty() || !trace_path.empty();
+        // Manifests fold histogram digests in, so either destination
+        // wants the pillar collected.
+        config.histograms =
+            !hist_path.empty() || !manifest_path.empty();
         config.trace_capacity = trace_capacity;
         return config;
     }

@@ -128,11 +128,32 @@ void writeManifestLine(std::ostream &out, const RunManifest &m)
     line += "\"metrics_digest\":\"" + toHex(m.metrics_digest) + "\",";
     std::snprintf(buf, sizeof(buf),
                   "\"trace\":{\"recorded\":%llu,\"dropped\":%llu},"
-                  "\"probe_samples\":%llu}",
+                  "\"probe_samples\":%llu",
                   static_cast<unsigned long long>(m.trace_recorded),
                   static_cast<unsigned long long>(m.trace_dropped),
                   static_cast<unsigned long long>(m.probe_samples));
     line += buf;
+    if (!m.histograms.empty()) {
+        line += ",\"histograms\":{";
+        for (std::size_t i = 0; i < m.histograms.size(); ++i) {
+            const HistogramDigest &h = m.histograms[i];
+            if (i != 0)
+                line += ',';
+            std::snprintf(
+                buf, sizeof(buf),
+                "\"%s\":{\"count\":%llu,\"p50\":%llu,\"p95\":%llu,"
+                "\"p99\":%llu,\"max\":%llu}",
+                jsonEscaped(h.name).c_str(),
+                static_cast<unsigned long long>(h.count),
+                static_cast<unsigned long long>(h.p50),
+                static_cast<unsigned long long>(h.p95),
+                static_cast<unsigned long long>(h.p99),
+                static_cast<unsigned long long>(h.max));
+            line += buf;
+        }
+        line += '}';
+    }
+    line += '}';
 
     out << line << '\n';
 }

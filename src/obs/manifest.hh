@@ -86,6 +86,22 @@ struct BuildInfo
 /** Build info of the current binary. */
 BuildInfo currentBuildInfo();
 
+/**
+ * Quantile digest of one latency-histogram series, folded into the
+ * manifest line ("series" or "series/tier" keyed; see
+ * obs/histogram.hh). Only non-empty series appear, so deterministic
+ * runs keep byte-identical manifests regardless of wall-timing.
+ */
+struct HistogramDigest
+{
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t max = 0;
+};
+
 /** Everything the manifest records about one run. */
 struct RunManifest
 {
@@ -106,6 +122,10 @@ struct RunManifest
     std::uint64_t trace_recorded = 0; //!< 0 when tracing off
     std::uint64_t trace_dropped = 0;
     std::uint64_t probe_samples = 0;  //!< interval + forecast rows
+    /** Histogram quantile digests (empty = pillar off / no values);
+     * when empty the manifest line's bytes match the pre-histogram
+     * format exactly. */
+    std::vector<HistogramDigest> histograms;
 };
 
 /** Append @p m to @p out as a single JSON line. */

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/recorder.hh"
+#include "serve/stats_exporter.hh"
 #include "sim/sharded_simulator.hh"
 
 namespace iceb::serve
@@ -65,6 +66,7 @@ ReplayDriver::run()
     obs_config.trace = options_.chrome_trace != nullptr;
     obs_config.probes = options_.probe_csv != nullptr ||
         options_.chrome_trace != nullptr;
+    obs_config.histograms = options_.stats != nullptr;
     std::optional<obs::RunRecorder> own_recorder;
     sim::SimulatorOptions sim_options = options_.sim;
     if (sim_options.recorder == nullptr && obs_config.any()) {
@@ -94,9 +96,29 @@ ReplayDriver::run()
             std::chrono::duration_cast<Clock::duration>(offset));
     };
 
+    // One snapshot per publish: scalar counters off the live engine
+    // plus the run's histogram set (null when stats are off).
+    const auto publishStats = [&](std::size_t started, TimeMs sim_now,
+                                  const sim::LiveCounters &counters) {
+        StatsSnapshot snap;
+        snap.run_label = options_.run_label;
+        snap.intervals_started = started;
+        snap.sim_time_ms = sim_now;
+        snap.decisions = engine_.decisionCount();
+        snap.counters = counters;
+        snap.histograms = sim_options.recorder != nullptr
+            ? sim_options.recorder->histograms()
+            : nullptr;
+        options_.stats->update(snap);
+    };
+
+    // Bound by each engine branch to its live simulator.
+    std::function<sim::LiveCounters()> live_counters;
+
     const auto reportIntervals = [&](std::size_t &seen,
                                      std::size_t started,
                                      TimeMs sim_now) {
+        const bool advanced = seen < started;
         while (seen < started) {
             if (streamer)
                 streamer->flush();
@@ -109,6 +131,8 @@ ReplayDriver::run()
             }
             ++seen;
         }
+        if (advanced && options_.stats != nullptr)
+            publishStats(started, sim_now, live_counters());
     };
 
     sim::SimulationMetrics metrics;
@@ -120,6 +144,7 @@ ReplayDriver::run()
                                         engine_, sim_options);
         simulator.start();
         attachStreamer();
+        live_counters = [&simulator] { return simulator.liveCounters(); };
 
         std::size_t intervals_seen = 0;
         bool more = true;
@@ -134,12 +159,23 @@ ReplayDriver::run()
                             simulator.intervalsStarted(),
                             simulator.now());
         }
+        // Counters must be snapshotted before finish() consumes the
+        // cells' metrics; the recorder's merged histograms land in the
+        // final publish below, after finish() pools them.
+        const sim::LiveCounters final_counters =
+            options_.stats != nullptr ? simulator.liveCounters()
+                                      : sim::LiveCounters{};
         metrics = simulator.finish();
+        if (options_.stats != nullptr) {
+            publishStats(simulator.intervalsStarted(), simulator.now(),
+                         final_counters);
+        }
     } else {
         sim::Simulator simulator(trace_, profiles_, cluster_, engine_,
                                  sim_options);
         simulator.start();
         attachStreamer();
+        live_counters = [&simulator] { return simulator.liveCounters(); };
 
         std::size_t intervals_seen = 0;
         bool more = true;
@@ -157,7 +193,14 @@ ReplayDriver::run()
                             simulator.intervalsStarted(),
                             simulator.now());
         }
+        const sim::LiveCounters final_counters =
+            options_.stats != nullptr ? simulator.liveCounters()
+                                      : sim::LiveCounters{};
         metrics = simulator.finish();
+        if (options_.stats != nullptr) {
+            publishStats(simulator.intervalsStarted(), simulator.now(),
+                         final_counters);
+        }
     }
     if (streamer)
         streamer->flush();
@@ -168,6 +211,8 @@ ReplayDriver::run()
         runs[0].name = options_.run_label;
         runs[0].trace = sim_options.recorder->traceSinkIfEnabled();
         runs[0].probes = sim_options.recorder->probeTableIfEnabled();
+        for (const auto &cell : sim_options.recorder->cellTraceSinks())
+            runs[0].cells.push_back(cell.get());
         obs::writeChromeTrace(*options_.chrome_trace, runs);
     }
     return metrics;

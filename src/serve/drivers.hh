@@ -31,6 +31,8 @@
 namespace iceb::serve
 {
 
+class StatsExporter; // stats_exporter.hh
+
 /**
  * Batch driver: one engine-wrapped simulation run.
  */
@@ -96,6 +98,14 @@ struct ReplayOptions
 
     /** Called after every processed interval boundary. */
     std::function<void(const ReplayProgress &)> on_interval;
+
+    /**
+     * Live metrics endpoint (borrowed, null = off): receives one
+     * StatsSnapshot per processed interval boundary and a final one
+     * when the run drains. Attaching it enables the run's latency
+     * histograms (they feed the quantile digests it serves).
+     */
+    StatsExporter *stats = nullptr;
 
     /** Underlying simulator options (seed, capacity hints). */
     sim::SimulatorOptions sim;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
@@ -305,6 +306,9 @@ struct Cell
     std::unique_ptr<CellStreamSource> stream;
     std::unique_ptr<CellAdapter> adapter;
     std::unique_ptr<Simulator> sim;
+    /** Cell-private histogram set, merged into the run's recorder at
+     * finish() (cells cannot share the recorder's set mid-run). */
+    std::unique_ptr<obs::HistogramSet> hist;
 };
 
 } // namespace shard_impl
@@ -335,6 +339,10 @@ struct ShardedSimulator::Impl
     std::unique_ptr<shard_impl::CellPool> pool;
 
     obs::ProbeTable *probes = nullptr;
+
+    /** Coordinator-side sinks off the run's recorder (may be null). */
+    obs::TraceSink *tsink = nullptr;
+    obs::HistogramSet *hists = nullptr;
 
     /** Barrier scratch: aggregated closed-interval counts. */
     std::vector<std::uint32_t> observed;
@@ -370,6 +378,14 @@ struct ShardedSimulator::Impl
 
 namespace
 {
+
+/** Wall-clock µs elapsed since @p t0 (clamped at 0). */
+std::uint64_t wallUsSince(std::chrono::steady_clock::time_point t0)
+{
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - t0);
+    return us.count() < 0 ? 0 : static_cast<std::uint64_t>(us.count());
+}
 
 /**
  * The barrier-time WarmupInterface the real policy acts through:
@@ -446,8 +462,20 @@ ShardedSimulator::Impl::setup()
                                   options.max_cells);
     const std::size_t num_cells = shard_plan.num_cells;
 
+    // Resolve the run's observability sinks up front: the cells are
+    // wired below through the SimulatorOptions overrides (never the
+    // recorder itself — its sinks are not safe to share across the
+    // parallel cell phase).
+    if (options.recorder != nullptr) {
+        probes = options.recorder->probeTable();
+        if (probes != nullptr)
+            probes->reserve(num_intervals, num_functions);
+        tsink = options.recorder->traceSink();
+        hists = options.recorder->histograms();
+    }
+
     SimulatorOptions cell_options = options;
-    cell_options.recorder = nullptr; // cells never observe
+    cell_options.recorder = nullptr; // cells get direct sinks instead
     cell_options.shards = 0;
     cell_options.cells = 0;
 
@@ -471,6 +499,17 @@ ShardedSimulator::Impl::setup()
             cell_totals[cell]);
         owned->adapter =
             std::make_unique<shard_impl::CellAdapter>(policy);
+        // Each cell records into private sinks: its own trace ring
+        // (merged at export as a "cellN" track) and its own histogram
+        // set (merged into the recorder's at finish(), in cell order).
+        if (tsink != nullptr) {
+            cell_options.trace_sink =
+                options.recorder->cellTraceSink(cell, num_cells);
+        }
+        if (hists != nullptr) {
+            owned->hist = std::make_unique<obs::HistogramSet>();
+            cell_options.histograms = owned->hist.get();
+        }
         owned->sim = std::make_unique<Simulator>(
             *owned->stream, profiles, owned->config, *owned->adapter,
             cell_options);
@@ -493,13 +532,6 @@ ShardedSimulator::Impl::setup()
             std::min(options.shards, num_cells));
     }
 
-    if (options.recorder != nullptr) {
-        probes = options.recorder->probeTable();
-        if (probes != nullptr)
-            probes->reserve(num_intervals, num_functions);
-        // Lifecycle tracing is not wired into the cells: a sharded
-        // run's Chrome trace carries probe counters only.
-    }
 }
 
 void
@@ -652,10 +684,25 @@ ShardedSimulator::advanceInterval()
     for (const auto &cell : impl.cells)
         cell->sim->cluster().setNow(impl.now);
 
+    // Barrier-phase spans for the run's Chrome trace (the
+    // coordinator's own sink; cells record lifecycle events into
+    // their per-cell rings). Simulated-time spans only — the serial
+    // phases are zero-length at the barrier timestamp — so traced
+    // output stays byte-identical across worker counts.
+    ICEB_TRACE(impl.tsink, obs::TraceKind::PhaseSerialBarrier, impl.now,
+               static_cast<FunctionId>(iv), Tier::HighEnd,
+               obs::ColdCause::None, 0);
+
     // Probe the aggregate BEFORE the policy acts, like the classic
     // engine: the row shows the state the decision saw.
-    if (impl.probes != nullptr)
+    if (impl.probes != nullptr) {
+        ICEB_TRACE(impl.tsink, obs::TraceKind::PhaseProbeSample,
+                   impl.now, static_cast<FunctionId>(iv), Tier::HighEnd,
+                   obs::ColdCause::None, 0);
         impl.sampleProbes(static_cast<IntervalIndex>(iv));
+    }
+
+    const bool wall = impl.hists != nullptr && impl.hists->wall_timing;
 
     // The real policy's interval hooks fire exactly once, against the
     // aggregated observation and the global facade. Each cell's
@@ -673,10 +720,20 @@ ShardedSimulator::advanceInterval()
         closed.interval = static_cast<IntervalIndex>(iv - 1);
         closed.arrivals = impl.observed.data();
         closed.num_functions = impl.observed.size();
+        const auto t0 = wall ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
         impl.policy.onIntervalObserved(closed);
+        if (wall)
+            impl.hists->forecast_wall_us.record(wallUsSince(t0));
     }
-    impl.policy.onIntervalStart(static_cast<IntervalIndex>(iv),
-                                *impl.facade);
+    {
+        const auto t0 = wall ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
+        impl.policy.onIntervalStart(static_cast<IntervalIndex>(iv),
+                                    *impl.facade);
+        if (wall)
+            impl.hists->decision_wall_us.record(wallUsSince(t0));
+    }
 
     // Deal the interval's arrivals to the cells before any cell's
     // tick opens its window on them.
@@ -696,6 +753,10 @@ ShardedSimulator::advanceInterval()
     // Parallel phase: every cell runs its own event loop up to (not
     // including) the next barrier. Cells share nothing here.
     const TimeMs t_next = static_cast<TimeMs>(iv + 1) * interval_ms;
+    ICEB_TRACE(impl.tsink, obs::TraceKind::PhaseParallelCells, impl.now,
+               static_cast<FunctionId>(iv), Tier::HighEnd,
+               obs::ColdCause::None,
+               static_cast<std::uint64_t>(interval_ms));
     impl.runCells([&impl, t_next](std::size_t cell) {
         Simulator &sim = *impl.cells[cell]->sim;
         while (const std::optional<TimeMs> t = sim.nextEventTime()) {
@@ -719,6 +780,15 @@ ShardedSimulator::finish()
     SimulationMetrics total = impl.cells[0]->sim->finish();
     for (std::size_t cell = 1; cell < impl.cells.size(); ++cell)
         total.merge(impl.cells[cell]->sim->finish());
+    // Fold the cells' private histogram sets into the recorder's, in
+    // cell order (bucket addition is exact, so the merged set equals a
+    // classic run's up to the partitioned-memory placement semantics).
+    if (impl.hists != nullptr) {
+        for (const auto &cell : impl.cells) {
+            if (cell->hist != nullptr)
+                impl.hists->merge(*cell->hist);
+        }
+    }
     return total;
 }
 
@@ -751,6 +821,22 @@ TimeMs
 ShardedSimulator::now() const
 {
     return impl_->now;
+}
+
+LiveCounters
+ShardedSimulator::liveCounters() const
+{
+    LiveCounters total;
+    for (const auto &cell : impl_->cells) {
+        const LiveCounters c = cell->sim->liveCounters();
+        total.invocations += c.invocations;
+        total.cold_starts += c.cold_starts;
+        total.warm_starts += c.warm_starts;
+        total.wait_queue += c.wait_queue;
+        for (std::size_t t = 0; t < kNumTiers; ++t)
+            total.keep_alive_cost[t] += c.keep_alive_cost[t];
+    }
+    return total;
 }
 
 const ShardPlan &

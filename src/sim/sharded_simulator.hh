@@ -154,6 +154,9 @@ class ShardedSimulator
     /** Current simulated time (the last barrier's timestamp). */
     TimeMs now() const;
 
+    /** Mid-run counter snapshot, summed over cells (live export). */
+    LiveCounters liveCounters() const;
+
     /** The fixed logical partition this run uses. */
     const ShardPlan &plan() const;
 

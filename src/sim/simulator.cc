@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -81,10 +82,28 @@ Simulator::Simulator(
     if (options_.recorder != nullptr) {
         tsink_ = options_.recorder->traceSink();
         probes_ = options_.recorder->probeTable();
+        hists_ = options_.recorder->histograms();
         cluster_.setTraceSink(tsink_);
         if (probes_ != nullptr)
             probes_->reserve(num_intervals_, num_functions_);
+    } else {
+        // Direct overrides: how the sharded coordinator threads each
+        // cell's private ring / histogram set through (probes stay
+        // coordinator-sampled at the barrier).
+        tsink_ = options_.trace_sink;
+        hists_ = options_.histograms;
+        cluster_.setTraceSink(tsink_);
     }
+}
+
+/** Wall-clock µs elapsed since @p t0 (wall-timing histograms only). */
+static std::uint64_t
+wallUsSince(std::chrono::steady_clock::time_point t0)
+{
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(dt);
+    return us.count() > 0 ? static_cast<std::uint64_t>(us.count()) : 0;
 }
 
 void
@@ -177,16 +196,33 @@ Simulator::stepImpl(EventLoopStats &stats)
         // policy decide. The counts come from the arrivals actually
         // streamed, not from the trace: the policy layer is fed
         // exactly what a live ingest API would have delivered.
-        if (event->interval > 0) {
-            IntervalObservation closed;
-            closed.interval = event->interval - 1;
-            closed.arrivals = observed_counts_.data();
-            closed.num_functions = observed_counts_.size();
-            policy_.onIntervalObserved(closed);
-            std::fill(observed_counts_.begin(),
-                      observed_counts_.end(), 0u);
+        {
+            // Wall timers are opt-in (non-deterministic values) and
+            // per-interval, so this stays off the per-event hot path.
+            const bool wall = hists_ != nullptr && hists_->wall_timing;
+            if (event->interval > 0) {
+                IntervalObservation closed;
+                closed.interval = event->interval - 1;
+                closed.arrivals = observed_counts_.data();
+                closed.num_functions = observed_counts_.size();
+                if (wall) {
+                    const auto t0 = std::chrono::steady_clock::now();
+                    policy_.onIntervalObserved(closed);
+                    hists_->forecast_wall_us.record(wallUsSince(t0));
+                } else {
+                    policy_.onIntervalObserved(closed);
+                }
+                std::fill(observed_counts_.begin(),
+                          observed_counts_.end(), 0u);
+            }
+            if (wall) {
+                const auto t0 = std::chrono::steady_clock::now();
+                policy_.onIntervalStart(event->interval, cluster_);
+                hists_->decision_wall_us.record(wallUsSince(t0));
+            } else {
+                policy_.onIntervalStart(event->interval, cluster_);
+            }
         }
-        policy_.onIntervalStart(event->interval, cluster_);
         openArrivalWindow(event->interval);
         ++intervals_started_;
         break;
@@ -371,6 +407,21 @@ Simulator::startExecution(const ClusterState::Acquisition &acq,
     outcome.overhead_ms = policy_.overheadMs();
     metrics_.recordInvocation(outcome);
 
+    if (hists_ != nullptr) {
+        const auto t = static_cast<std::size_t>(tierIndex(acq.tier));
+        hists_->wait_queue_ms[t].record(
+            static_cast<std::uint64_t>(outcome.wait_ms));
+        if (outcome.cold) {
+            // "Setup time" is the latency of attaching to an
+            // in-setup container (a warm-up that landed late); a true
+            // cold start pays the full cold penalty.
+            auto &h = cause == obs::ColdCause::SetupAttach
+                ? hists_->setup_attach_ms[t]
+                : hists_->cold_start_ms[t];
+            h.record(static_cast<std::uint64_t>(outcome.cold_start_ms));
+        }
+    }
+
     if (outcome.cold) {
         ICEB_TRACE(tsink_, obs::TraceKind::ColdStart, now_, fn, acq.tier,
                    cause,
@@ -399,6 +450,20 @@ Simulator::sampleIntervalProbes(IntervalIndex interval)
     }
     sample.wait_queue = static_cast<std::int64_t>(waitCount());
     probes_->addIntervalSample(sample);
+}
+
+LiveCounters
+Simulator::liveCounters() const
+{
+    const SimulationMetrics &m = metrics_.current();
+    LiveCounters c;
+    c.invocations = m.invocations;
+    c.cold_starts = m.cold_starts;
+    c.warm_starts = m.warm_starts;
+    c.wait_queue = static_cast<std::int64_t>(waitCount());
+    for (std::size_t t = 0; t < kNumTiers; ++t)
+        c.keep_alive_cost[t] = m.keep_alive[t].totalCost();
+    return c;
 }
 
 void

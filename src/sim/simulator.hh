@@ -37,6 +37,7 @@
 namespace iceb::obs
 {
 class ProbeTable;
+struct HistogramSet;
 } // namespace iceb::obs
 
 namespace iceb::sim
@@ -62,6 +63,16 @@ struct SimulatorOptions
      * changes the simulation's results.
      */
     obs::RunRecorder *recorder = nullptr;
+
+    /**
+     * Direct sink overrides, used only when `recorder` is null. The
+     * sharded coordinator hands each cell its own trace ring and
+     * histogram set through these (cells never see the run's
+     * recorder — its sinks are not safe to share across the parallel
+     * cell phase). Borrowed; write-only like the recorder.
+     */
+    obs::TraceSink *trace_sink = nullptr;
+    obs::HistogramSet *histograms = nullptr;
 
     /**
      * Worker threads for the sharded engine; 0 (the default) runs the
@@ -102,6 +113,20 @@ struct SimulatorOptions
      */
     static SimulatorOptions forRun(std::uint64_t base_seed,
                                    std::uint64_t run_index);
+};
+
+/**
+ * Scalar counter snapshot for live exporters (serve::StatsExporter):
+ * cheap to assemble mid-run — no sample-vector copies — on both the
+ * classic and sharded engines.
+ */
+struct LiveCounters
+{
+    std::uint64_t invocations = 0;
+    std::uint64_t cold_starts = 0;
+    std::uint64_t warm_starts = 0;
+    std::int64_t wait_queue = 0;
+    std::array<double, kNumTiers> keep_alive_cost{};
 };
 
 /**
@@ -193,6 +218,9 @@ class Simulator
     /** Invocations currently parked in the FIFO wait queue. */
     std::size_t waitingCount() const { return waitCount(); }
 
+    /** Mid-run counter snapshot for live exporters. */
+    LiveCounters liveCounters() const;
+
     /**
      * Arrival counts accumulated in the currently open interval (the
      * counts the next IntervalObservation will deliver). The sharded
@@ -265,6 +293,7 @@ class Simulator
     /** Resolved observability sinks (null when observation is off). */
     obs::TraceSink *tsink_ = nullptr;
     obs::ProbeTable *probes_ = nullptr;
+    obs::HistogramSet *hists_ = nullptr;
 
     /** Open arrival window (current interval's borrowed view). */
     ArrivalWindow window_;

@@ -2,7 +2,8 @@
  * @file
  * Tests for the observability layer (src/obs/ + harness wiring): the
  * trace ring buffer, Chrome trace_event export, probe CSV, manifest
- * lines, digest stability, the no-perturbation contract (an attached
+ * lines, digest stability, latency histograms (bucket exactness,
+ * merge algebra, tidy CSV), the no-perturbation contract (an attached
  * recorder never changes simulation results), and byte-identical
  * observation files across runner thread counts.
  */
@@ -11,11 +12,14 @@
 
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
+#include "common/rng.hh"
 #include "harness/observe.hh"
 #include "harness/registry.hh"
 #include "harness/runner.hh"
+#include "obs/histogram.hh"
 #include "obs/manifest.hh"
 #include "obs/probes.hh"
 #include "obs/recorder.hh"
@@ -125,7 +129,7 @@ TEST(ChromeTraceTest, ExportStructure)
     probes.addIntervalSample(s);
 
     std::ostringstream out;
-    obs::writeChromeTrace(out, {{"icebreaker", &sink, &probes}});
+    obs::writeChromeTrace(out, {{"icebreaker", &sink, &probes, {}}});
     const std::string doc = out.str();
 
     // Document shell + metadata.
@@ -406,6 +410,122 @@ TEST(RunnerObsTest, ObservationFilesIdenticalAcrossThreads)
     // The trace document names every run as a process.
     EXPECT_NE(trace.find("\"openwhisk\""), std::string::npos);
     EXPECT_NE(trace.find("\"icebreaker#1\""), std::string::npos);
+}
+
+// ------------------------------------------------------- histograms
+
+TEST(HistogramTest, BucketBoundariesPartitionTheRange)
+{
+    using H = obs::LatencyHistogram;
+    // Values below 2^kSubBits land in exact singleton buckets.
+    for (std::uint64_t v = 0; v < (1ull << H::kSubBits); ++v) {
+        EXPECT_EQ(H::bucketIndex(v), v);
+        EXPECT_EQ(H::bucketLowerBound(v), v);
+        EXPECT_EQ(H::bucketUpperBound(v), v);
+    }
+    // Both boundaries of every bucket map back to it, and the buckets
+    // tile the whole uint64 range with no gaps or overlaps.
+    for (std::size_t i = 0; i < H::kNumBuckets; ++i) {
+        EXPECT_EQ(H::bucketIndex(H::bucketLowerBound(i)), i);
+        EXPECT_EQ(H::bucketIndex(H::bucketUpperBound(i)), i);
+        if (i > 0)
+            EXPECT_EQ(H::bucketUpperBound(i - 1) + 1,
+                      H::bucketLowerBound(i));
+    }
+    EXPECT_EQ(H::bucketUpperBound(H::kNumBuckets - 1),
+              std::numeric_limits<std::uint64_t>::max());
+    // Above the singleton range the relative width is 2^-kSubBits.
+    const std::size_t i = H::bucketIndex(1000);
+    EXPECT_LE(H::bucketUpperBound(i) - H::bucketLowerBound(i) + 1,
+              H::bucketLowerBound(i) >> H::kSubBits);
+}
+
+TEST(HistogramTest, RecordCountSumMaxAndQuantiles)
+{
+    obs::LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    // Singleton buckets: small values are recovered exactly.
+    for (std::uint64_t v = 0; v < 8; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 8u);
+    EXPECT_EQ(h.sum(), 28u);
+    EXPECT_EQ(h.max(), 7u);
+    EXPECT_EQ(h.quantile(0.125), 0u); // rank 1
+    EXPECT_EQ(h.quantile(0.5), 3u);   // rank 4 -> value 3
+    EXPECT_EQ(h.quantile(1.0), 7u);
+    // An outlier: quantile(1.0) clamps to the exact maximum, not the
+    // (much wider) bucket upper bound.
+    h.record(1'000'000);
+    EXPECT_EQ(h.max(), 1'000'000u);
+    EXPECT_EQ(h.quantile(1.0), 1'000'000u);
+    EXPECT_EQ(h.quantile(0.5), 4u); // rank ceil(4.5) = 5 -> value 4
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndCommutative)
+{
+    using H = obs::LatencyHistogram;
+    const auto expectSame = [](const H &a, const H &b) {
+        EXPECT_EQ(a.count(), b.count());
+        EXPECT_EQ(a.sum(), b.sum());
+        EXPECT_EQ(a.max(), b.max());
+        for (std::size_t i = 0; i < H::kNumBuckets; ++i)
+            EXPECT_EQ(a.bucketCount(i), b.bucketCount(i));
+    };
+
+    // Three deterministic streams spanning several octaves.
+    H parts[3];
+    for (std::size_t p = 0; p < 3; ++p) {
+        Rng stream = Rng(0x0b5'1157ull).fork(p);
+        for (int n = 0; n < 200; ++n)
+            parts[p].record(static_cast<std::uint64_t>(
+                stream.uniformInt(0, 1 << (4 * (p + 1)))));
+    }
+
+    // (a + b) + c == a + (b + c).
+    H left;
+    left.merge(parts[0]);
+    left.merge(parts[1]);
+    left.merge(parts[2]);
+    H bc;
+    bc.merge(parts[1]);
+    bc.merge(parts[2]);
+    H right;
+    right.merge(parts[0]);
+    right.merge(bc);
+    expectSame(left, right);
+
+    // c + b + a == a + b + c.
+    H reversed;
+    reversed.merge(parts[2]);
+    reversed.merge(parts[1]);
+    reversed.merge(parts[0]);
+    expectSame(left, reversed);
+}
+
+TEST(HistogramCsvTest, TidyRowsSkipEmptySeries)
+{
+    obs::HistogramSet set;
+    set.cold_start_ms[0].record(4);
+    set.cold_start_ms[0].record(4);
+    set.cold_start_ms[0].record(100);
+    set.wait_queue_ms[1].record(2);
+
+    std::ostringstream out;
+    obs::writeHistogramCsv(out, {{"r0", &set}, {"null", nullptr}});
+    const std::string csv = out.str();
+
+    EXPECT_EQ(csv.rfind("run,series,tier,bucket_lo,bucket_hi,count\n",
+                        0),
+              0u);
+    // Occupied buckets only: header + 2 cold rows + 1 wait row.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+    EXPECT_NE(csv.find("r0,cold_start_ms,high-end,4,4,2\n"),
+              std::string::npos);
+    EXPECT_NE(csv.find("r0,wait_queue_ms,low-end,2,2,1\n"),
+              std::string::npos);
+    EXPECT_EQ(csv.find("setup_attach_ms"), std::string::npos);
+    EXPECT_EQ(csv.find("null"), std::string::npos);
 }
 
 } // namespace

@@ -8,11 +8,17 @@
  */
 
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <type_traits>
 #include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -22,6 +28,7 @@
 #include "harness/experiment.hh"
 #include "harness/registry.hh"
 #include "harness/runner.hh"
+#include "obs/histogram.hh"
 #include "obs/probes.hh"
 #include "obs/recorder.hh"
 #include "policies/faascache_policy.hh"
@@ -29,6 +36,7 @@
 #include "policies/oracle_policy.hh"
 #include "policies/wild_policy.hh"
 #include "serve/drivers.hh"
+#include "serve/stats_exporter.hh"
 
 namespace
 {
@@ -480,6 +488,183 @@ TEST(ServeRunnerTest, EngineWrappedGridIsThreadCountInvariant)
         EXPECT_EQ(hashMetrics(serial[4 + r].metrics),
                   hashMetrics(serial[6 + r].metrics));
     }
+}
+
+// ---------------------------------------------------- stats export
+
+/**
+ * A known snapshot plus the histogram set it borrows. snap.histograms
+ * is wired by each test AFTER the fixture lands in its final storage
+ * (the pointer must not survive a copy of the fixture).
+ */
+struct StatsSnapshotFixture
+{
+    obs::HistogramSet set;
+    serve::StatsSnapshot snap;
+};
+
+StatsSnapshotFixture
+statsFixture()
+{
+    StatsSnapshotFixture f;
+    f.set.cold_start_ms[0].record(1200);
+    f.set.cold_start_ms[0].record(800);
+    f.set.wait_queue_ms[1].record(15);
+    f.snap.run_label = "unit";
+    f.snap.intervals_started = 7;
+    f.snap.sim_time_ms = 420'000;
+    f.snap.decisions = 6;
+    f.snap.counters.invocations = 100;
+    f.snap.counters.cold_starts = 9;
+    f.snap.counters.warm_starts = 91;
+    f.snap.counters.wait_queue = 3;
+    f.snap.counters.keep_alive_cost = {1.25, 0.5};
+    return f;
+}
+
+TEST(StatsExporterTest, RenderersEmitCountersAndHistograms)
+{
+    StatsSnapshotFixture f = statsFixture();
+    f.snap.histograms = &f.set;
+
+    const std::string prom = serve::renderPrometheus(f.snap);
+    EXPECT_NE(prom.find("# TYPE icebreaker_invocations_total counter"),
+              std::string::npos);
+    EXPECT_NE(prom.find("icebreaker_invocations_total{run=\"unit\"} "
+                        "100"),
+              std::string::npos);
+    EXPECT_NE(prom.find("icebreaker_keep_alive_cost{run=\"unit\","
+                        "tier=\"high-end\"} 1.250000"),
+              std::string::npos);
+    EXPECT_NE(prom.find("series=\"cold_start_ms\",tier=\"high-end\","
+                        "quantile=\"0.95\""),
+              std::string::npos);
+    // Wall timers carry tier="all" so every sample line has the
+    // same label set (Prometheus requirement for one metric name).
+    EXPECT_NE(prom.find("series=\"decision_wall_us\",tier=\"all\""),
+              std::string::npos);
+
+    const std::string json = serve::renderStatsJson(f.snap);
+    EXPECT_NE(json.find("\"invocations\":100"), std::string::npos);
+    EXPECT_NE(json.find("\"wait_queue\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"keep_alive_cost\":{\"high-end\":1.250000,"
+                        "\"low-end\":0.500000}"),
+              std::string::npos);
+    // Histogram keys use '/' (never '.'): the schema checker splits
+    // key paths on dots.
+    EXPECT_NE(json.find("\"cold_start_ms/high-end\":{\"count\":2,"),
+              std::string::npos);
+    EXPECT_EQ(json.find("cold_start_ms.high-end"), std::string::npos);
+    // Every series appears even when empty (stable schema).
+    EXPECT_NE(json.find("\"setup_attach_ms/low-end\":{\"count\":0,"),
+              std::string::npos);
+    EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(StatsExporterTest, JsonFileModeRewritesPerUpdate)
+{
+    StatsSnapshotFixture f = statsFixture();
+    f.snap.histograms = &f.set;
+    serve::StatsExporterOptions options;
+    options.json_path = testing::TempDir() + "/stats_unit.json";
+
+    serve::StatsExporter exporter(options);
+    EXPECT_EQ(exporter.port(), -1); // HTTP off by default
+    exporter.update(f.snap);
+    f.snap.counters.invocations = 250;
+    exporter.update(f.snap);
+
+    std::ifstream in(options.json_path, std::ios::binary);
+    const std::string file((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    EXPECT_EQ(file, exporter.jsonText());
+    EXPECT_NE(file.find("\"invocations\":250"), std::string::npos);
+    EXPECT_EQ(file.find("\"invocations\":100"), std::string::npos);
+}
+
+TEST(StatsExporterTest, ServesLatestPrometheusTextOverHttp)
+{
+    StatsSnapshotFixture f = statsFixture();
+    f.snap.histograms = &f.set;
+    serve::StatsExporterOptions options;
+    options.http_port = 0; // ephemeral
+
+    serve::StatsExporter exporter(options);
+    if (exporter.port() < 0)
+        GTEST_SKIP() << "loopback bind unavailable in this sandbox";
+    exporter.update(f.snap);
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(exporter.port()));
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const char request[] = "GET /metrics HTTP/1.1\r\n\r\n";
+    ASSERT_GT(::send(fd, request, sizeof(request) - 1, 0), 0);
+
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        response.append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("text/plain; version=0.0.4"),
+              std::string::npos);
+    EXPECT_NE(response.find("icebreaker_invocations_total{run="
+                            "\"unit\"} 100"),
+              std::string::npos);
+}
+
+TEST(StatsExporterTest, ReplayPublishesSnapshotsWithoutPerturbing)
+{
+    const harness::Workload workload = serveWorkload(8, 20);
+    const sim::ClusterConfig cluster =
+        sim::defaultHeterogeneousCluster();
+
+    // Reference: the same replay with no exporter attached.
+    const std::unique_ptr<serve::DecisionEngine> bare =
+        harness::makeDecisionEngineByName("icebreaker");
+    serve::ReplayDriver bare_replay(workload.trace, workload.profiles,
+                                    cluster, *bare);
+    const sim::SimulationMetrics reference = bare_replay.run();
+
+    serve::StatsExporterOptions options;
+    options.json_path = testing::TempDir() + "/stats_replay.json";
+    serve::StatsExporter exporter(options);
+    const std::unique_ptr<serve::DecisionEngine> engine =
+        harness::makeDecisionEngineByName("icebreaker");
+    serve::ReplayOptions replay_options;
+    replay_options.stats = &exporter;
+    serve::ReplayDriver replay(workload.trace, workload.profiles,
+                               cluster, *engine, replay_options);
+    const sim::SimulationMetrics metrics = replay.run();
+
+    // Attaching the exporter enables histograms but must not change
+    // the simulation (strictly write-only observation).
+    EXPECT_EQ(hashMetrics(metrics), hashMetrics(reference));
+
+    // The final snapshot carries the whole run.
+    const std::string json = exporter.jsonText();
+    EXPECT_NE(json.find("\"invocations\":" +
+                        std::to_string(metrics.invocations)),
+              std::string::npos);
+    EXPECT_NE(json.find("\"intervals\":" +
+                        std::to_string(workload.trace.numIntervals())),
+              std::string::npos);
+    // Cold starts happened, so the latency pillar recorded them on at
+    // least one tier.
+    ASSERT_GT(metrics.cold_starts, 0u);
+    EXPECT_TRUE(
+        json.find("\"cold_start_ms/high-end\":{\"count\":0,") ==
+            std::string::npos ||
+        json.find("\"cold_start_ms/low-end\":{\"count\":0,") ==
+            std::string::npos);
 }
 
 } // namespace

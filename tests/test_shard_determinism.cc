@@ -15,6 +15,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -23,6 +26,7 @@
 #include "common/units.hh"
 #include "core/icebreaker.hh"
 #include "harness/baseline_gate.hh"
+#include "harness/observe.hh"
 #include "harness/registry.hh"
 #include "harness/runner.hh"
 #include "policies/faascache_policy.hh"
@@ -340,6 +344,72 @@ TEST(ShardDeterminismTest, ProbeCsvByteIdenticalAcrossWorkerCounts)
     expectMetricsIdentical(m1, m4);
     EXPECT_FALSE(csv1.empty());
     EXPECT_EQ(csv1, csv4);
+}
+
+TEST(ShardDeterminismTest, ObservationFilesByteIdenticalAcrossWorkers)
+{
+    // The full observability surface of a sharded run — per-cell
+    // Chrome trace tracks, the latency-histogram CSV, and manifest
+    // lines with folded histogram digests — is a pure function of the
+    // cell partition: byte-identical for every shards x threads
+    // combination.
+    const harness::Workload workload = [] {
+        trace::SyntheticConfig config;
+        config.num_functions = 18;
+        config.num_intervals = 30;
+        return harness::makeWorkload(config);
+    }();
+    const std::string dir = testing::TempDir();
+
+    const auto slurp = [](const std::string &path) {
+        std::ifstream in(path, std::ios::binary);
+        return std::string((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    };
+    const auto runGrid = [&](std::size_t threads, std::size_t shards,
+                             const std::string &tag) {
+        harness::ObservationOptions obs;
+        obs.trace_path = dir + "/shard_trace_" + tag + ".json";
+        obs.hist_path = dir + "/shard_hist_" + tag + ".csv";
+        obs.manifest_path = dir + "/shard_manifest_" + tag + ".jsonl";
+        std::vector<harness::RunSpec> grid = harness::buildGrid(
+            {"openwhisk", "icebreaker"}, workload,
+            {{"base", testCluster()}});
+        for (harness::RunSpec &spec : grid)
+            spec.shards = shards;
+        harness::ExperimentRunner runner(threads);
+        runner.setObservation(obs);
+        runner.run(grid);
+        return std::array<std::string, 3>{slurp(obs.trace_path),
+                                          slurp(obs.hist_path),
+                                          slurp(obs.manifest_path)};
+    };
+
+    const std::array<std::string, 3> reference = runGrid(1, 1, "ref");
+    // The reference actually exercises every pillar: per-cell tracks
+    // and barrier spans in the trace, latency rows in the CSV, and
+    // histogram digests folded into the manifest.
+    EXPECT_NE(reference[0].find("\"cell0\""), std::string::npos);
+    EXPECT_NE(reference[0].find("serial-barrier"), std::string::npos);
+    EXPECT_NE(reference[0].find("parallel-cells"), std::string::npos);
+    EXPECT_NE(reference[1].find("cold_start_ms"), std::string::npos);
+    EXPECT_NE(reference[2].find("\"histograms\""), std::string::npos);
+    EXPECT_NE(reference[2].find("cold_start_ms/high-end"),
+              std::string::npos);
+
+    for (const std::size_t threads : {1u, 4u}) {
+        for (const std::size_t shards : {2u, 4u}) {
+            SCOPED_TRACE("threads=" + std::to_string(threads) +
+                         " shards=" + std::to_string(shards));
+            const std::array<std::string, 3> result =
+                runGrid(threads, shards,
+                        std::to_string(threads) + "x" +
+                            std::to_string(shards));
+            EXPECT_EQ(reference[0], result[0]);
+            EXPECT_EQ(reference[1], result[1]);
+            EXPECT_EQ(reference[2], result[2]);
+        }
+    }
 }
 
 TEST(ShardDeterminismTest, SimDriverMatchesBareSimulation)
